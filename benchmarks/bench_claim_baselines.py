@@ -1,0 +1,176 @@
+"""C3 — the Section-2 comparison: SCI vs Context Toolkit vs Solar vs iQueue.
+
+Workload: 20 applications each demand ``location[topological]`` over an
+environment with door-sensor networks (topological) and wireless positioning
+(geometric). The environment then loses sources in two waves:
+
+* wave 1 removes half the door networks (same-representation spares exist);
+* wave 2 removes the rest (only the cross-representation source remains).
+
+Reported: the fraction of demands still satisfied after each wave, the
+developer actions needed to recover, and the reuse behaviour. Expected
+shape, per the paper: Toolkit freezes; Solar recovers only by re-authoring;
+iQueue survives wave 1 but hits the syntactic wall at wave 2; SCI survives
+both, bridging representations automatically.
+"""
+
+import pytest
+
+from repro.core.types import TypeSpec, standard_registry
+from repro.baselines.common import Environment
+from repro.baselines.contexttoolkit import Aggregator, ToolkitApp, Widget
+from repro.baselines.iqueue import DataSpec, IQueuePlatform
+from repro.baselines.sciadapter import SCIComposition
+from repro.baselines.solar import OperatorSpec, SolarApp, SolarPlatform
+
+APPS = 20
+DOOR_NETS = 4
+
+
+def build_environment():
+    env = Environment()
+    for index in range(DOOR_NETS):
+        env.create(f"door-net-{index}", "location", "topological")
+    env.create("wifi-net", "location", "geometric")
+    return env
+
+
+def build_registry():
+    registry = standard_registry()
+    registry.add_converter("location", "geometric", "topological",
+                           lambda value: "estimated-room", fidelity=0.8)
+    return registry
+
+
+def build_systems(env, registry):
+    toolkit_apps = []
+    solar_platform = SolarPlatform(env)
+    solar_apps = []
+    iqueue = IQueuePlatform(env)
+    sci = SCIComposition(env, registry)
+    for index in range(APPS):
+        source = env.source(f"door-net-{index % DOOR_NETS}")
+        app = ToolkitApp(f"tk-{index}")
+        app.use(Aggregator("bob", [Widget(source)]))
+        toolkit_apps.append(app)
+
+        solar_app = SolarApp(f"solar-{index}", solar_platform)
+        solar_app.subscribe_graph(
+            OperatorSpec.op("loc",
+                            OperatorSpec.source(source.name)))
+        solar_apps.append(solar_app)
+
+        iqueue.create_composer([DataSpec("location", "topological")])
+        sci.demand(TypeSpec("location", "topological", f"subject-{index}"))
+    return toolkit_apps, solar_platform, solar_apps, iqueue, sci
+
+
+def satisfied_fraction(toolkit_apps, solar_apps, iqueue, sci):
+    toolkit = sum(app.satisfied() for app in toolkit_apps) / APPS
+    solar = sum(app.satisfied() for app in solar_apps) / APPS
+    iq = sum(c.fully_bound() for c in iqueue.composers) / APPS
+    sci_frac = sci.satisfied_count() / APPS
+    return toolkit, solar, iq, sci_frac
+
+
+class TestReportBaselines:
+    def test_report_environment_change_comparison(self, report):
+        env = build_environment()
+        registry = build_registry()
+        toolkit_apps, solar_platform, solar_apps, iqueue, sci = \
+            build_systems(env, registry)
+
+        report("")
+        report(f"C3  satisfied demands / {APPS} after environmental change")
+        report(f"{'phase':>28} | {'Toolkit':>7} | {'Solar':>5} | "
+               f"{'iQueue':>6} | {'SCI':>5}")
+
+        def row(label):
+            fractions = satisfied_fraction(toolkit_apps, solar_apps,
+                                           iqueue, sci)
+            report(f"{label:>28} | {fractions[0]:>7.0%} | "
+                   f"{fractions[1]:>5.0%} | {fractions[2]:>6.0%} | "
+                   f"{fractions[3]:>5.0%}")
+            return fractions
+
+        initial = row("initial")
+        assert initial == (1.0, 1.0, 1.0, 1.0)
+
+        # wave 1: half the door networks die (spares exist)
+        for index in range(DOOR_NETS // 2):
+            env.kill(f"door-net-{index}")
+        iqueue.environment_changed()
+        sci.environment_changed()
+        wave1 = row("wave 1: half the doors die")
+        assert wave1[0] < 1.0          # Toolkit froze for affected apps
+        assert wave1[1] < 1.0          # Solar quiet until re-authored
+        assert wave1[2] == 1.0         # iQueue rebound syntactically
+        assert wave1[3] == 1.0         # SCI rebound
+
+        # wave 2: all remaining door networks die
+        for index in range(DOOR_NETS // 2, DOOR_NETS):
+            env.kill(f"door-net-{index}")
+        iqueue.environment_changed()
+        sci.environment_changed()
+        wave2 = row("wave 2: all doors die")
+        assert wave2[0] == 0.0
+        assert wave2[1] == 0.0
+        assert wave2[2] == 0.0         # the syntactic wall
+        assert wave2[3] == 1.0         # SCI bridges to wireless
+
+    def test_report_developer_effort(self, report):
+        env = build_environment()
+        registry = build_registry()
+        toolkit_apps, solar_platform, solar_apps, iqueue, sci = \
+            build_systems(env, registry)
+        for index in range(DOOR_NETS):
+            env.kill(f"door-net-{index}")
+        iqueue.environment_changed()
+        sci.environment_changed()
+        # Solar CAN recover — if every developer re-authors a graph:
+        for app in solar_apps:
+            app.subscribe_graph(OperatorSpec.op(
+                "loc", OperatorSpec.source("wifi-net")))
+        rewires = sum(app.graphs_authored - 1 for app in solar_apps)
+        report(f"developer actions to recover from total door failure: "
+               f"Toolkit=impossible, Solar={rewires} re-authored graphs, "
+               f"iQueue=impossible (syntactic), SCI=0")
+        assert rewires == APPS
+        assert sci.recompositions == APPS
+
+    def test_report_reuse_comparison(self, report):
+        env = build_environment()
+        registry = build_registry()
+        _, solar_platform, _, _, _ = build_systems(env, registry)
+        report(f"Solar common-subgraph reuse over {APPS} apps: "
+               f"{solar_platform.operators_requested} requested -> "
+               f"{solar_platform.operators_instantiated} instantiated "
+               f"(ratio {solar_platform.reuse_ratio():.2f})")
+        assert solar_platform.reuse_ratio() > 1.0
+
+
+class TestBenchBaselines:
+    def test_bench_sci_recomposition(self, benchmark):
+        def run():
+            env = build_environment()
+            sci = SCIComposition(env, build_registry())
+            for index in range(APPS):
+                sci.demand(TypeSpec("location", "topological",
+                                    f"subject-{index}"))
+            for index in range(DOOR_NETS):
+                env.kill(f"door-net-{index}")
+            sci.environment_changed()
+            assert sci.satisfied()
+
+        benchmark(run)
+
+    def test_bench_iqueue_rebinding(self, benchmark):
+        def run():
+            env = build_environment()
+            iqueue = IQueuePlatform(env)
+            for _ in range(APPS):
+                iqueue.create_composer([DataSpec("location", "topological")])
+            env.kill("door-net-0")
+            iqueue.environment_changed()
+
+        benchmark(run)

@@ -1,0 +1,117 @@
+"""C4 — Section 3.3: interoperating location models.
+
+Reproduced series: conversion correctness/accuracy between the four
+representations over the synthetic building. The paper only *requires* the
+conversions exist; we additionally measure what the conversions cost in
+fidelity: symbolic<->topological are lossless, geometric->topological exact
+for in-room points, and the signal chain's positional error is bounded.
+"""
+
+import pytest
+
+from repro.core.types import TypeSpec, standard_registry
+from repro.location.building import livingstone_tower
+from repro.location.converters import register_location_converters
+from repro.location.geometry import Point
+
+BUILDING = livingstone_tower()
+REGISTRY = register_location_converters(standard_registry(), BUILDING)
+
+
+def convert(source, target, value):
+    chain = REGISTRY.conversion_path(TypeSpec("location", source),
+                                     TypeSpec("location", target))
+    assert chain is not None
+    for converter in chain:
+        value = converter.apply(value)
+    return value
+
+
+class TestReportLocation:
+    def test_report_conversion_matrix(self, report):
+        report("")
+        report("C4  location-model conversion matrix (chain length)")
+        representations = ["symbolic", "topological", "geometric", "signal"]
+        corner = "from / to"
+        header = f"{corner:>12} |" + "".join(
+            f" {name:>11}" for name in representations)
+        report(header)
+        for source in representations:
+            cells = []
+            for target in representations:
+                chain = REGISTRY.conversion_path(
+                    TypeSpec("location", source),
+                    TypeSpec("location", target))
+                cells.append("-" if chain is None else str(len(chain)))
+            report(f"{source:>12} |" + "".join(f" {c:>11}" for c in cells))
+        # signal is a source-only representation (nothing converts INTO it)
+        assert REGISTRY.conversion_path(TypeSpec("location", "geometric"),
+                                        TypeSpec("location", "signal")) is None
+
+    def test_report_lossless_round_trips(self, report):
+        failures = 0
+        for room in BUILDING.room_names():
+            if convert("symbolic", "topological",
+                       convert("topological", "symbolic", room)) != room:
+                failures += 1
+            geo = convert("topological", "geometric", room)
+            if convert("geometric", "topological", geo) != room:
+                failures += 1
+        report(f"lossless round trips over {len(BUILDING.room_names())} "
+               f"rooms: {failures} failure(s)")
+        assert failures == 0
+
+    def test_report_signal_chain_accuracy(self, report):
+        """signal -> geometric -> topological: position error and room hit
+        rate for devices placed at room centroids."""
+        errors = []
+        room_hits = 0
+        covered = 0
+        for room in BUILDING.room_names():
+            true = BUILDING.room_centroid(room)
+            observations = [(o.station_id, o.rssi_dbm)
+                            for o in BUILDING.signal_map.observe(true)]
+            if not observations:
+                continue
+            covered += 1
+            x, y = convert("signal", "geometric", observations)
+            errors.append(true.distance_to(Point(x, y)))
+            if convert("signal", "topological", observations) == room:
+                room_hits += 1
+        mean_error = sum(errors) / len(errors)
+        report(f"signal chain over {covered} covered rooms: "
+               f"mean position error {mean_error:.1f} m, "
+               f"room-level hit rate {room_hits}/{covered}")
+        assert covered == len(BUILDING.room_names())  # full coverage
+        assert mean_error < 20.0  # bounded, if coarse — hence fidelity 0.6
+
+    def test_report_fidelity_annotations(self, report):
+        chain = REGISTRY.conversion_path(TypeSpec("location", "signal"),
+                                         TypeSpec("location", "symbolic"))
+        total = 1.0
+        for converter in chain:
+            total *= converter.fidelity
+        report(f"signal->symbolic combined fidelity: {total:.2f} "
+               f"({' * '.join(f'{c.fidelity:.1f}' for c in chain)})")
+        assert total < 1.0
+
+
+class TestBenchLocation:
+    @pytest.mark.parametrize("source,target,value", [
+        ("topological", "symbolic", "L10.01"),
+        ("topological", "geometric", "L10.01"),
+        ("geometric", "topological", (14.0, 7.0)),
+    ])
+    def test_bench_single_conversion(self, benchmark, source, target, value):
+        benchmark(convert, source, target, value)
+
+    def test_bench_signal_chain(self, benchmark):
+        true = BUILDING.room_centroid("corridor")
+        observations = [(o.station_id, o.rssi_dbm)
+                        for o in BUILDING.signal_map.observe(true)]
+        benchmark(convert, "signal", "symbolic", observations)
+
+    def test_bench_conversion_path_search(self, benchmark):
+        benchmark(REGISTRY.conversion_path,
+                  TypeSpec("location", "signal"),
+                  TypeSpec("location", "symbolic"))

@@ -1,0 +1,105 @@
+"""F2 — Figure 2: the structure of a Range under load.
+
+Claim under test (Section 3): "the complexity and timely response required
+when providing contextual information justifies the use of a centralised
+service" — i.e. the per-range Context Server keeps per-operation cost flat
+as the range's population grows.
+
+Reproduced series: for E entities in {10, 50, 200}, measure registration
+latency (Figure-5 handshake round trips) and a profile-manager lookup,
+against range population.
+"""
+
+import pytest
+
+from repro.core.ids import GuidFactory
+from repro.core.types import TypeSpec, standard_registry
+from repro.entities.entity import ContextEntity
+from repro.entities.profile import Profile
+from repro.location.building import livingstone_tower
+from repro.location.converters import register_location_converters
+from repro.net.transport import FixedLatency, Network
+from repro.server.context_server import ContextServer
+from repro.server.range import RangeDefinition
+
+
+def build_range(seed=0):
+    net = Network(latency_model=FixedLatency(1.0), seed=seed)
+    net.add_host("cs-host")
+    net.add_host("client-host")
+    guids = GuidFactory(seed=seed)
+    building = livingstone_tower()
+    registry = register_location_converters(standard_registry(), building)
+    server = ContextServer(
+        guids.mint(), "cs-host", net,
+        RangeDefinition("range", places=["livingstone"],
+                        hosts=["cs-host", "client-host"]),
+        building, registry, guids, lease_duration=1e9)
+    return net, guids, server
+
+
+def populate(net, guids, count):
+    """Register ``count`` entities; returns per-registration latencies."""
+    latencies = []
+    for index in range(count):
+        ce = ContextEntity(
+            Profile(guids.mint(), f"ce-{index}",
+                    outputs=[TypeSpec("temperature", "celsius")]),
+            "client-host", net)
+        started = net.scheduler.now
+        done = []
+        ce.on_registered = lambda d=done: d.append(net.scheduler.now)
+        ce.start()
+        net.scheduler.run_for(10)
+        latencies.append(done[0] - started)
+    return latencies
+
+
+class TestReportFigure2:
+    def test_report_registration_flat_in_population(self, report):
+        report("")
+        report("F2  Range management: registration cost vs population")
+        report(f"{'population':>10} | {'mean reg latency':>16} | "
+               f"{'profile lookups/ms of simtime':>28}")
+        means = []
+        for count in (10, 50, 200):
+            net, guids, server = build_range()
+            latencies = populate(net, guids, count)
+            mean = sum(latencies) / len(latencies)
+            means.append(mean)
+            assert server.registrar.population() == count
+            report(f"{count:>10} | {mean:>16.2f} | "
+                   f"{server.profiles.population():>28}")
+        # registration is a fixed handshake: flat in population
+        assert max(means) - min(means) < 0.5
+
+    def test_report_departure_cleanup_cost(self, report):
+        net, guids, server = build_range()
+        populate(net, guids, 50)
+        evicted = server.registrar.records()[0]
+        server.registrar.remove(evicted.entity_hex, "test")
+        net.scheduler.run_for(5)
+        assert server.registrar.population() == 49
+        assert server.profiles.population() == 49
+        report("departure cleanup: registrar+profiles consistent at 49/49")
+
+
+class TestBenchFigure2:
+    @pytest.mark.parametrize("count", [10, 50, 200])
+    def test_bench_registration(self, benchmark, count):
+        def run():
+            net, guids, _server = build_range()
+            populate(net, guids, count)
+
+        benchmark.pedantic(run, rounds=3, iterations=1)
+
+    def test_bench_profile_lookup(self, benchmark):
+        net, guids, server = build_range()
+        populate(net, guids, 200)
+        names = [record.profile.name for record in server.registrar.records()]
+
+        def lookup():
+            for name in names[:50]:
+                assert server.profiles.by_name(name) is not None
+
+        benchmark(lookup)

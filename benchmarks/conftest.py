@@ -1,0 +1,33 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every ``test_report_*`` benchmark prints the series/rows it reproduces AND
+appends them to ``benchmarks/results/<module>.txt``, so EXPERIMENTS.md can
+cite concrete, regenerable numbers. Run with::
+
+    pytest benchmarks/ --benchmark-only            # timing tables
+    pytest benchmarks/ -s                          # also show report rows
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(request):
+    """A callable that prints a line and records it to the module's result file."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    module = request.module.__name__
+    path = RESULTS_DIR / f"{module}.txt"
+    lines = []
+
+    def emit(line: str = "") -> None:
+        print(line)
+        lines.append(line)
+
+    yield emit
+    if lines:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")

@@ -1,0 +1,7 @@
+"""Setuptools shim: enables legacy editable installs (`pip install -e .
+--no-use-pep517`) on toolchains without the `wheel` package. All metadata
+lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""SCI — the Strathclyde Context Infrastructure, reproduced in Python.
+
+This package reproduces the middleware described in
+
+    Glassey, Stevenson, Richmond, Nixon, Terzis, Wang, Ferguson.
+    "Towards a Middleware for Generalised Context Management."
+    First International Workshop on Middleware for Pervasive and Ad Hoc
+    Computing, Middleware 2003.
+
+The public entry point is :class:`repro.core.api.SCI`, a facade that builds a
+simulated deployment (physical world, ranges, context servers, the SCINET
+overlay) and lets applications submit context queries.
+
+Layout
+------
+``repro.core``
+    GUIDs, error hierarchy, the context-type ontology, and the SCI facade.
+``repro.net``
+    Deterministic discrete-event network substrate.
+``repro.overlay``
+    The SCINET overlay (prefix routing, range directory) and the
+    hierarchical comparator used by the Figure-1 benchmark.
+``repro.events``
+    Typed context events, filters, subscriptions, the Event Mediator.
+``repro.entities``
+    Context Entities, Context Aware Applications, profiles, advertisements,
+    sensor/derived/device entities.
+``repro.query``
+    The What/Where/When/Which/Mode query model and its XML wire format.
+``repro.composition``
+    Type-matching query resolver, configuration graphs, live re-composition.
+``repro.location``
+    Geometric / symbolic / topological / signal-strength location models and
+    the intermediate location language.
+``repro.mobility``
+    The simulated physical world, movement, boundary detection and handoff.
+``repro.server``
+    Ranges, Context Servers and the core Context Utilities.
+``repro.faults``
+    Failure injection and liveness monitoring.
+``repro.baselines``
+    Miniature Context Toolkit, Solar and iQueue for the Section-2
+    comparisons.
+``repro.apps``
+    CAPA (context-aware printing) and the path-display application.
+"""
+
+from repro.core.api import SCI, SCIConfig
+
+__all__ = ["SCI", "SCIConfig"]
+__version__ = "1.0.0"

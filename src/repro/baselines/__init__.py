@@ -1,0 +1,46 @@
+"""Miniature reimplementations of the Section-2 comparison systems.
+
+The paper positions SCI against three prior systems; to measure the claimed
+differences rather than assert them, each system's *composition model* is
+implemented over a common source environment:
+
+* :mod:`repro.baselines.contexttoolkit` — Dey et al.'s Context Toolkit:
+  widgets / interpreters / aggregators wired at design time ("after the
+  decision has been made and these context components are built, they
+  become fixed");
+* :mod:`repro.baselines.solar` — Chen & Kotz's Solar: applications submit
+  explicit operator-graph specifications; the platform deduplicates common
+  subgraphs ("will try to find the common parts of context processing
+  graphs ... and will reuse them"), but robustness is the developer's
+  problem;
+* :mod:`repro.baselines.iqueue` — Cohen et al.'s iQueue: composers bind to
+  data specifications and continually rebind to the best matching source —
+  but matching is syntactic, so a semantically-equivalent source with a
+  different representation is invisible;
+* :mod:`repro.baselines.sciadapter` — SCI's resolver over the same
+  environment, with semantic matching and converter insertion.
+
+The C3 benchmark drives all four with the same environment-change workload.
+"""
+
+from repro.baselines.common import DataSource, Environment
+from repro.baselines.contexttoolkit import Widget, Interpreter, Aggregator, ToolkitApp
+from repro.baselines.solar import SolarPlatform, OperatorSpec, SolarApp
+from repro.baselines.iqueue import IQueuePlatform, DataSpec, Composer
+from repro.baselines.sciadapter import SCIComposition
+
+__all__ = [
+    "DataSource",
+    "Environment",
+    "Widget",
+    "Interpreter",
+    "Aggregator",
+    "ToolkitApp",
+    "SolarPlatform",
+    "OperatorSpec",
+    "SolarApp",
+    "IQueuePlatform",
+    "DataSpec",
+    "Composer",
+    "SCIComposition",
+]

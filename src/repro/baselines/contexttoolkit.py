@@ -1,0 +1,117 @@
+"""A miniature Context Toolkit (Dey, Salber, Abowd — the paper's ref [4]).
+
+Three component kinds, quoting the SCI paper's summary: "widgets,
+aggregators, and interpreters. The Context Toolkit provides common
+functionality such as communication between context components and encoding
+of context data."
+
+The property under test is the critique: "after the decision has been made
+and these context components are built, they become fixed. This means that
+the developer has to foresee all the requirements of applications at design
+time". Accordingly, a :class:`Widget` binds to exactly the source it was
+built on; when that source dies the widget goes quiet and nothing in the
+framework rebinds it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.baselines.common import DataSource
+
+
+class Widget:
+    """Wraps one concrete sensor, chosen at design time."""
+
+    def __init__(self, source: DataSource):
+        self.source = source
+        self.last_value: Any = None
+        self.updates = 0
+        self._callbacks: List[Callable[[Any], None]] = []
+        source.subscribe(self._on_source)
+
+    def _on_source(self, source: DataSource, value: Any) -> None:
+        self.last_value = value
+        self.updates += 1
+        for callback in list(self._callbacks):
+            callback(value)
+
+    def register_callback(self, callback: Callable[[Any], None]) -> None:
+        self._callbacks.append(callback)
+
+    @property
+    def operational(self) -> bool:
+        """Is the design-time source still alive? (The widget itself has no
+        way to notice or react — this is the experimenter's view.)"""
+        return self.source.alive
+
+    def __repr__(self) -> str:
+        return f"Widget({self.source.name})"
+
+
+class Interpreter:
+    """A fixed transformation applied to widget output."""
+
+    def __init__(self, fn: Callable[[Any], Any], label: str = "interpreter"):
+        self.fn = fn
+        self.label = label
+        self.interpretations = 0
+
+    def interpret(self, value: Any) -> Any:
+        self.interpretations += 1
+        return self.fn(value)
+
+
+class Aggregator:
+    """Collects context about one entity from a fixed set of widgets."""
+
+    def __init__(self, entity: str, widgets: List[Widget],
+                 interpreter: Optional[Interpreter] = None):
+        self.entity = entity
+        self.widgets = list(widgets)
+        self.interpreter = interpreter
+        self.last_value: Any = None
+        self.updates = 0
+        self._callbacks: List[Callable[[Any], None]] = []
+        for widget in self.widgets:
+            widget.register_callback(self._on_widget)
+
+    def _on_widget(self, value: Any) -> None:
+        if self.interpreter is not None:
+            value = self.interpreter.interpret(value)
+        self.last_value = value
+        self.updates += 1
+        for callback in list(self._callbacks):
+            callback(value)
+
+    def register_callback(self, callback: Callable[[Any], None]) -> None:
+        self._callbacks.append(callback)
+
+    @property
+    def operational(self) -> bool:
+        """At least one constituent widget still has a live source."""
+        return any(widget.operational for widget in self.widgets)
+
+
+class ToolkitApp:
+    """An application holding design-time references to aggregators."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.aggregators: List[Aggregator] = []
+        self.received: List[Any] = []
+
+    def use(self, aggregator: Aggregator) -> Aggregator:
+        self.aggregators.append(aggregator)
+        aggregator.register_callback(self.received.append)
+        return aggregator
+
+    def satisfied(self) -> bool:
+        """Are all of the app's context needs still being met?
+
+        With the Toolkit, this is simply whether the fixed wiring still has
+        live sources behind it — there is no mechanism that could make it
+        true again once it goes false.
+        """
+        return bool(self.aggregators) and all(
+            aggregator.operational for aggregator in self.aggregators)

@@ -1,0 +1,141 @@
+"""A miniature iQueue (Cohen et al. — the paper's ref [6]).
+
+Quoting the SCI paper: "An iQueue application obtains its data from
+composers. A composer combines data sources to produce a particular result.
+Data sources are described by data specifications, which are descriptions of
+data type required by the composer, rather than explicitly where to find the
+data ... iQueue supports the continual rebinding of data specifications to
+the most appropriate data sources."
+
+And the critique under test: "iQueue faces this issue when presented with
+data sources that have widely different syntactic descriptions but are
+semantically similar. For example an iQueue application that has been
+developed to request location data from a network of door sensors cannot
+take advantage of an environment that provides location information using a
+wireless detection scheme."
+
+So: a :class:`DataSpec` matches sources *syntactically* (type name AND
+representation must agree); composers rebind automatically whenever a bound
+source dies — but only to syntactic matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.baselines.common import DataSource, Environment
+
+
+@dataclass(frozen=True)
+class DataSpec:
+    """A syntactic description of the data a composer needs."""
+
+    type_name: str
+    representation: str
+    subject: Optional[str] = None
+
+    def __str__(self) -> str:
+        subject = f"@{self.subject}" if self.subject else ""
+        return f"{self.type_name}[{self.representation}]{subject}"
+
+
+class Composer:
+    """Combines bound data specs into one produced value."""
+
+    def __init__(self, platform: "IQueuePlatform", specs: List[DataSpec],
+                 fn: Optional[Callable[[List[Any]], Any]] = None):
+        self.platform = platform
+        self.specs = list(specs)
+        self.fn = fn or (lambda values: values[-1])
+        self.bound: Dict[int, Optional[DataSource]] = {
+            index: None for index in range(len(specs))}
+        self._latest: Dict[int, Any] = {}
+        self._subscribers: List[Callable[[Any], None]] = []
+        self.values_produced = 0
+        self.rebinds = 0
+        for index in range(len(specs)):
+            self._bind(index)
+
+    # -- binding --------------------------------------------------------------------
+
+    def _bind(self, index: int) -> bool:
+        spec = self.specs[index]
+        candidates = self.platform.environment.find_syntactic(
+            spec.type_name, spec.representation, spec.subject)
+        previous = self.bound[index]
+        if previous is not None:
+            previous.unsubscribe(self._make_callback(index))
+        if not candidates:
+            self.bound[index] = None
+            return False
+        chosen = candidates[0]
+        self.bound[index] = chosen
+        chosen.subscribe(self._make_callback(index))
+        return True
+
+    def _make_callback(self, index: int):
+        # One stable callback object per slot so unsubscribe works.
+        cache = getattr(self, "_callbacks", None)
+        if cache is None:
+            cache = {}
+            self._callbacks = cache
+        if index not in cache:
+            def callback(source: DataSource, value: Any, _index=index) -> None:
+                self._on_value(_index, value)
+            cache[index] = callback
+        return cache[index]
+
+    def _on_value(self, index: int, value: Any) -> None:
+        self._latest[index] = value
+        if len(self._latest) == len(self.specs):
+            produced = self.fn([self._latest[i] for i in sorted(self._latest)])
+            self.values_produced += 1
+            for subscriber in list(self._subscribers):
+                subscriber(produced)
+
+    def rebind_if_needed(self) -> bool:
+        """Continual rebinding: repair slots whose source died.
+
+        Returns True when every slot is bound afterwards. Called by the
+        platform whenever the environment changes (iQueue's 'rebinding of
+        data specifications to the most appropriate data sources').
+        """
+        all_bound = True
+        for index in range(len(self.specs)):
+            source = self.bound[index]
+            if source is None or not source.alive:
+                self.rebinds += 1
+                if not self._bind(index):
+                    all_bound = False
+        return all_bound
+
+    def fully_bound(self) -> bool:
+        return all(source is not None and source.alive
+                   for source in self.bound.values())
+
+    def subscribe(self, callback: Callable[[Any], None]) -> None:
+        self._subscribers.append(callback)
+
+
+class IQueuePlatform:
+    """Owns composers and drives continual rebinding."""
+
+    def __init__(self, environment: Environment):
+        self.environment = environment
+        self.composers: List[Composer] = []
+
+    def create_composer(self, specs: List[DataSpec],
+                        fn: Optional[Callable[[List[Any]], Any]] = None) -> Composer:
+        composer = Composer(self, specs, fn)
+        self.composers.append(composer)
+        return composer
+
+    def environment_changed(self) -> None:
+        """Notify all composers that sources appeared/disappeared."""
+        for composer in self.composers:
+            composer.rebind_if_needed()
+
+    def satisfied(self) -> bool:
+        return bool(self.composers) and all(composer.fully_bound()
+                                            for composer in self.composers)

@@ -1,0 +1,37 @@
+"""The model of composition (Section 3.2).
+
+"A configuration is an event subscription graph between entities where the
+inputs to one CE are provided by the outputs of others. To achieve this, we
+use query data along with input and output information obtained from CE
+Profiles to perform type matching. When this process is complete, setting up
+subscriptions between CE's to their data sources creates the required
+graph."
+
+:mod:`repro.composition.resolver` performs the backward-chaining type
+matching; :mod:`repro.composition.graph` is the resulting configuration
+plan; :mod:`repro.composition.manager` instantiates plans as live
+subscription graphs, monitors them and re-composes on failure;
+:mod:`repro.composition.templates` lets deployments register CE factories so
+the infrastructure can spawn processing components on demand;
+:mod:`repro.composition.binding` interprets profile binding rules.
+"""
+
+from repro.composition.binding import BindingRule, binding_rule_of
+from repro.composition.templates import CETemplate, TemplateRegistry
+from repro.composition.graph import ConfigurationPlan, PlanNode, PlanEdge
+from repro.composition.resolver import QueryResolver
+from repro.composition.manager import ConfigurationManager, Configuration, ConfigState
+
+__all__ = [
+    "BindingRule",
+    "binding_rule_of",
+    "CETemplate",
+    "TemplateRegistry",
+    "ConfigurationPlan",
+    "PlanNode",
+    "PlanEdge",
+    "QueryResolver",
+    "ConfigurationManager",
+    "Configuration",
+    "ConfigState",
+]

@@ -1,0 +1,97 @@
+"""Binding rules: how a wanted subject parameterises a provider CE.
+
+Figure 3's objLocationCE "takes an entity ID as an input and produces
+location information as an output" — the entity ID is a parameter bound at
+configuration time. A profile declares how the resolver should derive its
+parameter values from the *subject* of the wanted type spec, as a small
+declarative record under ``profile.attributes["binding"]``:
+
+``{"kind": "subject", "params": ["subject"]}``
+    bind the whole wanted subject to one parameter (objLocationCE,
+    OccupancyCE);
+
+``{"kind": "pair", "params": ["from_subject", "to_subject"],
+   "separator": "->", "bind_inputs": true}``
+    split the wanted subject ("bob->john") on the separator and bind the
+    halves to two parameters; with ``bind_inputs`` the provider's event
+    inputs are narrowed to those subjects positionally (PathCE's two
+    location inputs become location@bob and location@john).
+
+No rule means the provider needs no binding — either it is subject-agnostic
+(door sensors emit presence for whoever passes) or its output subject is
+fixed (a room thermometer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import CompositionError
+from repro.core.types import TypeSpec
+from repro.entities.profile import Profile
+
+
+@dataclass(frozen=True)
+class BindingRule:
+    """Parsed form of a profile's binding declaration."""
+
+    kind: str                      # "subject" | "pair"
+    params: Tuple[str, ...]
+    separator: str = "->"
+    bind_inputs: bool = False
+
+    def __post_init__(self):
+        if self.kind not in ("subject", "pair"):
+            raise CompositionError(f"unknown binding kind: {self.kind!r}")
+        if self.kind == "subject" and len(self.params) != 1:
+            raise CompositionError("'subject' binding needs exactly one param")
+        if self.kind == "pair" and len(self.params) != 2:
+            raise CompositionError("'pair' binding needs exactly two params")
+
+    def bind(self, subject: object) -> Dict[str, object]:
+        """Parameter values for a wanted ``subject``."""
+        if subject is None:
+            raise CompositionError(
+                f"provider requires a bound subject for params {self.params}"
+            )
+        if self.kind == "subject":
+            return {self.params[0]: subject}
+        parts = str(subject).split(self.separator)
+        if len(parts) != 2:
+            raise CompositionError(
+                f"subject {subject!r} does not split into two on {self.separator!r}"
+            )
+        return {self.params[0]: parts[0], self.params[1]: parts[1]}
+
+    def input_subjects(self, subject: object,
+                       inputs: List[TypeSpec]) -> List[TypeSpec]:
+        """Narrow the provider's event inputs to the bound subjects."""
+        if not self.bind_inputs:
+            return list(inputs)
+        if self.kind == "pair":
+            parts = str(subject).split(self.separator)
+            if len(inputs) != 2:
+                raise CompositionError(
+                    f"pair binding expects two inputs, profile has {len(inputs)}"
+                )
+            return [inputs[0].bind(parts[0]), inputs[1].bind(parts[1])]
+        return [spec.bind(subject) for spec in inputs]
+
+
+def binding_rule_of(profile: Profile) -> Optional[BindingRule]:
+    """The profile's binding rule, or None when it declares none."""
+    raw = profile.attributes.get("binding")
+    if raw is None:
+        return None
+    try:
+        return BindingRule(
+            kind=raw["kind"],
+            params=tuple(raw["params"]),
+            separator=raw.get("separator", "->"),
+            bind_inputs=bool(raw.get("bind_inputs", False)),
+        )
+    except (KeyError, TypeError) as exc:
+        raise CompositionError(
+            f"malformed binding declaration on {profile.name}: {raw!r}"
+        ) from exc

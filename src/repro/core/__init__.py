@@ -1,0 +1,36 @@
+"""Core building blocks: GUIDs, errors, the context-type ontology, facade."""
+
+from repro.core.errors import (
+    SCIError,
+    CompositionError,
+    NoProviderError,
+    QueryError,
+    RegistrationError,
+    RoutingError,
+    LocationError,
+)
+from repro.core.ids import GUID, GuidFactory
+from repro.core.types import (
+    ContextType,
+    Converter,
+    TypeRegistry,
+    TypeSpec,
+    standard_registry,
+)
+
+__all__ = [
+    "GUID",
+    "GuidFactory",
+    "SCIError",
+    "CompositionError",
+    "NoProviderError",
+    "QueryError",
+    "RegistrationError",
+    "RoutingError",
+    "LocationError",
+    "ContextType",
+    "Converter",
+    "TypeRegistry",
+    "TypeSpec",
+    "standard_registry",
+]

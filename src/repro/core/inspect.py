@@ -1,0 +1,102 @@
+"""Operational introspection: human-readable snapshots of a deployment.
+
+A running SCI deployment has a lot of moving state — registrations, live
+configurations, parked queries, directory entries, claims. These helpers
+render it for debugging and for the examples' narration. Everything here is
+read-only.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.server.context_server import ContextServer
+
+
+def range_report(server: ContextServer) -> str:
+    """One range's state: population, utilities, configurations, parked."""
+    lines = [f"Range {server.definition.name!r} (CS {server.guid})"]
+    lines.append(f"  places: {', '.join(server.definition.places)}")
+    lines.append(f"  machines: {', '.join(sorted(server.range_services))}")
+
+    records = server.registrar.records()
+    by_kind = {}
+    for record in records:
+        by_kind.setdefault(record.kind, []).append(record.profile.name)
+    lines.append(f"  population: {len(records)}")
+    for kind in sorted(by_kind):
+        names = ", ".join(sorted(by_kind[kind])[:6])
+        extra = len(by_kind[kind]) - 6
+        suffix = f" (+{extra} more)" if extra > 0 else ""
+        lines.append(f"    {kind:>14}: {names}{suffix}")
+
+    lines.append(f"  mediator: {server.mediator.subscription_count} "
+                 f"subscription(s), {server.mediator.published} event(s) "
+                 f"published")
+    lines.append(f"  location fixes: "
+                 f"{len(server.location.tracked_entities())} entit(ies)")
+
+    configs = server.configurations.configurations()
+    lines.append(f"  configurations: {len(configs)} "
+                 f"({server.configurations.repairs} repair(s), "
+                 f"{server.configurations.reuse_hits} reuse hit(s))")
+    for config in configs:
+        lines.append(f"    {config.config_id}: {config.wanted} "
+                     f"[{config.state.value}] depth={config.plan.depth()} "
+                     f"nodes={config.plan.node_count()} "
+                     f"repairs={config.repairs}")
+
+    parked = server.parked_queries()
+    if parked:
+        lines.append(f"  parked queries: {len(parked)}")
+        for item in parked:
+            lines.append(f"    {item.query.query_id}: until "
+                         f"{item.query.when}")
+
+    lines.append(f"  queries: {server.queries_received} received / "
+                 f"{server.queries_executed} executed / "
+                 f"{server.queries_forwarded} forwarded / "
+                 f"{server.queries_parked} parked / "
+                 f"{server.queries_failed} failed")
+    return "\n".join(lines)
+
+
+def configuration_report(server: ContextServer, config_id: str) -> str:
+    """One configuration's full subscription graph."""
+    config = server.configurations.config(config_id)
+    if config is None:
+        return f"no such configuration: {config_id}"
+    lines = [f"{config.config_id}: {config.wanted} [{config.state.value}]"]
+    lines.append(config.plan.describe())
+    if config.deliveries:
+        lines.append("deliveries:")
+        for delivery in config.deliveries:
+            mode = "one-time" if delivery.one_time else "durable"
+            lines.append(f"  -> {delivery.subscriber_hex[:8]} "
+                         f"({mode}, query {delivery.query_id})")
+    if config.excluded:
+        lines.append(f"excluded providers: "
+                     f"{sorted(h[:8] for h in config.excluded)}")
+    return "\n".join(lines)
+
+
+def system_report(sci) -> str:
+    """The whole deployment: every range plus the SCINET view."""
+    lines: List[str] = [f"SCI deployment @ t={sci.now:.2f} "
+                        f"(building {sci.building.building_name!r})"]
+    lines.append(f"SCINET: {sci.scinet.size()} node(s)")
+    for node in sci.scinet.nodes():
+        lines.append(f"  {node.name}: {len(node.directory)} directory "
+                     f"entr(ies), routed {node.routed}")
+    for name in sorted(sci.ranges):
+        lines.append("")
+        lines.append(range_report(sci.ranges[name]))
+    world_entities = sci.world.entities()
+    if world_entities:
+        lines.append("")
+        lines.append(f"world: {len(world_entities)} physical entit(ies)")
+        for entity in world_entities:
+            device = f" [{entity.device_host}]" if entity.device_host else ""
+            lines.append(f"  {entity.key}: {entity.room or '<outside>'}"
+                         f"{device}")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Context Entities, Context Aware Applications and their metadata.
+
+Section 3.1: "A Context Entity (CE) is a lightweight software component for
+representing an entity within the infrastructure ... A CE maintains a Profile
+for its entity that contains meta-data describing the entity. For entities
+that provide a service, the CE may also maintain an Advertisement."
+
+The class split follows Figure 4: shared registration behaviour
+(RegisterInterface) in :class:`BaseComponent`, the event-consuming side
+(ConsumeInterface) in :class:`ContextAwareApplication`, and the service side
+(ServiceInterface) in :class:`ContextEntity`. Concrete sensor, derived and
+device entities live in their own modules.
+"""
+
+from repro.entities.profile import EntityClass, Profile
+from repro.entities.advertisement import Advertisement
+from repro.entities.entity import (
+    BaseComponent,
+    ContextEntity,
+    ContextAwareApplication,
+)
+from repro.entities.sensors import (
+    DoorSensorCE,
+    WLANDetectorCE,
+    TemperatureSensorCE,
+)
+from repro.entities.derived import (
+    ObjectLocationCE,
+    PathCE,
+    ConverterCE,
+    OccupancyCE,
+    WindowAggregatorCE,
+)
+from repro.entities.devices import PrinterCE, PrinterState
+
+__all__ = [
+    "EntityClass",
+    "Profile",
+    "Advertisement",
+    "BaseComponent",
+    "ContextEntity",
+    "ContextAwareApplication",
+    "DoorSensorCE",
+    "WLANDetectorCE",
+    "TemperatureSensorCE",
+    "ObjectLocationCE",
+    "PathCE",
+    "ConverterCE",
+    "OccupancyCE",
+    "WindowAggregatorCE",
+    "PrinterCE",
+    "PrinterState",
+]

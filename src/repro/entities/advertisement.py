@@ -1,0 +1,43 @@
+"""Advertisements — the 'well known' service interfaces of Section 4.
+
+"Advertisements take the form of 'well known' interfaces in order that CAAs
+may transfer service specific data to CEs." An advertisement names the
+service, lists its operations and carries selection attributes. A CAA that
+resolved an advertisement request invokes operations with ``service-invoke``
+messages handled by :meth:`repro.entities.entity.ContextEntity.handle_service`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class Advertisement:
+    """A service offer attached to a Context Entity."""
+
+    service_name: str
+    operations: List[str] = field(default_factory=list)
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def supports(self, operation: str) -> bool:
+        return operation in self.operations
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "service_name": self.service_name,
+            "operations": list(self.operations),
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "Advertisement":
+        return cls(
+            service_name=data["service_name"],
+            operations=list(data.get("operations", [])),
+            attributes=dict(data.get("attributes", {})),
+        )
+
+    def __str__(self) -> str:
+        return f"Advertisement({self.service_name}: {', '.join(self.operations)})"

@@ -1,0 +1,152 @@
+"""Device Context Entities — printers for the CAPA scenario.
+
+Section 5 needs printers that can be busy (P1, serving Bob), out of paper
+(P2), behind a locked door (P3 — access is a property of the door in the
+topology model, not of the printer) and free (P4). A printer publishes
+``printer-status`` events on every state change and advertises a
+``print-service`` whose operations CAAs invoke with service messages.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Optional
+
+from repro.core.ids import GUID
+from repro.core.types import TypeSpec
+from repro.entities.advertisement import Advertisement
+from repro.entities.entity import ContextEntity
+from repro.entities.profile import EntityClass, Profile
+from repro.net.transport import Network
+
+
+class PrinterState(enum.Enum):
+    IDLE = "idle"
+    BUSY = "busy"
+    OUT_OF_PAPER = "out-of-paper"
+
+
+class PrinterCE(ContextEntity):
+    """A networked printer with a job queue and live status events."""
+
+    def __init__(self, guid: GUID, host_id: str, network: Network,
+                 printer_name: str, room: str,
+                 seconds_per_page: float = 2.0,
+                 paper_capacity: int = 500):
+        if seconds_per_page <= 0:
+            raise ValueError(f"non-positive page time: {seconds_per_page}")
+        profile = Profile(
+            entity_id=guid,
+            name=printer_name,
+            entity_class=EntityClass.DEVICE,
+            outputs=[TypeSpec("printer-status", "record")],
+            attributes={"room": room, "device": "printer"},
+        )
+        advertisement = Advertisement(
+            service_name="print-service",
+            operations=["print", "status"],
+            attributes={"room": room},
+        )
+        super().__init__(profile, host_id, network, advertisements=[advertisement])
+        self.printer_name = printer_name
+        self.room = room
+        self.seconds_per_page = seconds_per_page
+        self.paper_remaining = paper_capacity
+        self.state = PrinterState.IDLE
+        self._queue: List[Dict[str, Any]] = []
+        self._active_job: Optional[Dict[str, Any]] = None
+        self.jobs_completed: List[Dict[str, Any]] = []
+
+    # -- status ---------------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting or printing."""
+        return len(self._queue) + (1 if self._active_job else 0)
+
+    def status_record(self) -> Dict[str, Any]:
+        return {
+            "printer": self.printer_name,
+            "room": self.room,
+            "state": self.state.value,
+            "queue_length": self.queue_length,
+            "paper_remaining": self.paper_remaining,
+        }
+
+    def publish_status(self) -> None:
+        self.publish(
+            TypeSpec("printer-status", "record", self.printer_name),
+            self.status_record(),
+        )
+
+    def on_registered(self) -> None:
+        self.publish_status()  # announce initial availability
+
+    # -- scenario control -------------------------------------------------------
+
+    def set_out_of_paper(self) -> None:
+        self.paper_remaining = 0
+        if self.state != PrinterState.BUSY:
+            self.state = PrinterState.OUT_OF_PAPER
+        self.publish_status()
+
+    def refill_paper(self, sheets: int = 500) -> None:
+        if sheets <= 0:
+            raise ValueError(f"non-positive refill: {sheets}")
+        self.paper_remaining += sheets
+        if self.state == PrinterState.OUT_OF_PAPER:
+            self.state = PrinterState.IDLE
+            self._start_next_job()
+        self.publish_status()
+
+    # -- service interface --------------------------------------------------------
+
+    def handle_service(self, operation: str, args: Dict[str, Any]) -> Any:
+        if operation == "status":
+            return self.status_record()
+        if operation == "print":
+            return self._accept_job(args)
+        raise AssertionError(f"unadvertised operation {operation!r}")  # pragma: no cover
+
+    def _accept_job(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        pages = int(args.get("pages", 1))
+        if pages < 1:
+            return {"accepted": False, "reason": "empty document"}
+        if self.paper_remaining < pages:
+            return {"accepted": False, "reason": "out of paper"}
+        job = {
+            "document": args.get("document", "untitled"),
+            "pages": pages,
+            "owner": args.get("owner", "unknown"),
+            "submitted_at": self.now,
+        }
+        self._queue.append(job)
+        self._start_next_job()
+        self.publish_status()
+        return {"accepted": True, "position": self.queue_length}
+
+    def _start_next_job(self) -> None:
+        if self._active_job is not None or not self._queue:
+            return
+        if self.paper_remaining <= 0:
+            self.state = PrinterState.OUT_OF_PAPER
+            return
+        self._active_job = self._queue.pop(0)
+        self.state = PrinterState.BUSY
+        duration = self._active_job["pages"] * self.seconds_per_page
+        self.scheduler.schedule(duration, self._finish_job)
+
+    def _finish_job(self) -> None:
+        if self._active_job is None:  # crashed/stopped mid-job
+            return
+        job = self._active_job
+        self._active_job = None
+        self.paper_remaining = max(0, self.paper_remaining - job["pages"])
+        job["completed_at"] = self.now
+        self.jobs_completed.append(job)
+        if self.paper_remaining <= 0:
+            self.state = PrinterState.OUT_OF_PAPER
+        else:
+            self.state = PrinterState.IDLE
+            self._start_next_job()
+        self.publish_status()

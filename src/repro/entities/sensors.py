@@ -1,0 +1,202 @@
+"""Sensor-level Context Entities — the data sources of every configuration.
+
+These stand in for the paper's physical instrumentation (DESIGN.md
+substitution table): door sensors reading electronic ID badges, W-LAN base
+stations detecting devices, and ambient temperature probes. Each is a plain
+:class:`~repro.entities.entity.ContextEntity` whose profile declares outputs
+but no event inputs, which is what makes it a leaf for the Query Resolver's
+backward chaining.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+from repro.core.ids import GUID
+from repro.core.types import TypeSpec
+from repro.entities.entity import ContextEntity
+from repro.entities.profile import EntityClass, Profile
+from repro.location.geometry import Point
+from repro.location.signalmap import SignalMap
+from repro.net.sim import Timer
+from repro.net.transport import Network
+
+
+class DoorSensorCE(ContextEntity):
+    """A sensor on one door that reads ID tags passing through.
+
+    Figure 3: "The doorSensor CEs produce events indicating when an object
+    (equipped with ID tag) passes through them". The simulated world calls
+    :meth:`detect` when a tagged entity crosses the door; the sensor
+    publishes a ``presence`` event recording who moved between which rooms.
+
+    ``miss_rate`` models unreliable reads (a real badge reader misses some
+    swipes); missed detections are the adaptivity benchmark's background
+    noise.
+    """
+
+    def __init__(self, guid: GUID, host_id: str, network: Network,
+                 door_id: str, room_a: str, room_b: str,
+                 miss_rate: float = 0.0, seed: int = 0):
+        if not 0.0 <= miss_rate < 1.0:
+            raise ValueError(f"miss_rate out of range: {miss_rate}")
+        profile = Profile(
+            entity_id=guid,
+            name=f"door-sensor:{door_id}",
+            entity_class=EntityClass.DEVICE,
+            outputs=[TypeSpec.of("presence", "tag-read",
+                                 quality={"accuracy": 1.0 - miss_rate})],
+            attributes={"door": door_id, "rooms": [room_a, room_b]},
+        )
+        super().__init__(profile, host_id, network)
+        self.door_id = door_id
+        self.room_a = room_a
+        self.room_b = room_b
+        self.miss_rate = miss_rate
+        self._rng = random.Random(seed)
+        self.detections = 0
+        self.misses = 0
+
+    def detect(self, entity_key: str, from_room: str, to_room: str) -> bool:
+        """Report a tagged entity crossing; returns False on a missed read."""
+        if self.miss_rate and self._rng.random() < self.miss_rate:
+            self.misses += 1
+            return False
+        self.detections += 1
+        self.publish(
+            TypeSpec("presence", "tag-read", entity_key),
+            {
+                "entity": entity_key,
+                "door": self.door_id,
+                "from": from_room,
+                "to": to_room,
+            },
+        )
+        return True
+
+
+class WLANDetectorCE(ContextEntity):
+    """A W-LAN location source: estimates device positions from RSSI.
+
+    Section 3.4's second detection mechanism. On a fixed scan interval the
+    detector asks the world for current device positions (that callback is
+    the simulation stand-in for the radio layer), runs them through the
+    :class:`~repro.location.signalmap.SignalMap` forward+inverse models and
+    publishes a ``location[geometric]`` event per covered device — the
+    semantically-equivalent-but-syntactically-different source the paper's
+    iQueue critique turns on.
+    """
+
+    def __init__(self, guid: GUID, host_id: str, network: Network,
+                 signal_map: SignalMap,
+                 device_positions: Callable[[], Dict[str, Point]],
+                 scan_interval: float = 5.0):
+        if scan_interval <= 0:
+            raise ValueError(f"non-positive scan interval: {scan_interval}")
+        profile = Profile(
+            entity_id=guid,
+            name="wlan-detector",
+            entity_class=EntityClass.DEVICE,
+            outputs=[TypeSpec.of("location", "geometric",
+                                 quality={"accuracy": 5.0})],
+            attributes={"stations": [s.station_id for s in signal_map.stations()]},
+        )
+        super().__init__(profile, host_id, network)
+        self.signal_map = signal_map
+        self.device_positions = device_positions
+        self.scan_interval = scan_interval
+        self._scan_timer: Optional[Timer] = None
+        self.scans = 0
+
+    def on_registered(self) -> None:
+        self._scan_timer = self.scheduler.schedule_periodic(
+            self.scan_interval, self.scan)
+
+    def stop(self) -> None:
+        if self._scan_timer is not None:
+            self._scan_timer.cancel()
+        super().stop()
+
+    def crash(self) -> None:
+        if self._scan_timer is not None:
+            self._scan_timer.cancel()
+        super().crash()
+
+    def scan(self) -> int:
+        """One sweep: publish an estimate for every covered device."""
+        self.scans += 1
+        published = 0
+        for entity_key, position in sorted(self.device_positions().items()):
+            observations = self.signal_map.observe(position)
+            if not observations:
+                continue
+            estimate = self.signal_map.estimate_position(observations)
+            error = self.signal_map.estimate_error_bound(observations)
+            self.publish(
+                TypeSpec("location", "geometric", entity_key),
+                (estimate.x, estimate.y),
+                attributes={"accuracy": error, "stations_heard": len(observations)},
+            )
+            published += 1
+        return published
+
+
+class TemperatureSensorCE(ContextEntity):
+    """An ambient temperature probe publishing periodic readings.
+
+    ``representation`` is configurable ("celsius" / "fahrenheit") so tests
+    and benches can exercise converter insertion on a type other than
+    location. Readings follow a bounded random walk around ``baseline``.
+    """
+
+    def __init__(self, guid: GUID, host_id: str, network: Network,
+                 room: str, baseline: float = 21.0,
+                 representation: str = "celsius",
+                 interval: float = 10.0, seed: int = 0):
+        if interval <= 0:
+            raise ValueError(f"non-positive interval: {interval}")
+        profile = Profile(
+            entity_id=guid,
+            name=f"thermometer:{room}",
+            entity_class=EntityClass.DEVICE,
+            outputs=[TypeSpec.of("temperature", representation,
+                                 quality={"accuracy": 0.5})],
+            attributes={"room": room},
+        )
+        super().__init__(profile, host_id, network)
+        self.room = room
+        self.representation = representation
+        self.baseline = baseline
+        self.current = baseline
+        self.interval = interval
+        self._rng = random.Random(seed)
+        self._timer: Optional[Timer] = None
+        self.readings = 0
+
+    def on_registered(self) -> None:
+        self._timer = self.scheduler.schedule_periodic(self.interval, self.read)
+        self.read()  # initial reading so configurations get a first value
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+        super().stop()
+
+    def crash(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+        super().crash()
+
+    def read(self) -> float:
+        """Take and publish one reading."""
+        drift = self._rng.uniform(-0.3, 0.3)
+        # pull gently back toward the baseline so the walk stays bounded
+        self.current += drift + 0.1 * (self.baseline - self.current)
+        self.readings += 1
+        self.publish(
+            TypeSpec("temperature", self.representation, self.room),
+            round(self.current, 2),
+            attributes={"room": self.room},
+        )
+        return self.current

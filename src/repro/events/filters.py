@@ -1,0 +1,205 @@
+"""A small filter algebra over context events.
+
+Subscriptions (Section 3.1's Event Mediator) carry a filter deciding which
+published events reach the subscriber. Filters compose with And/Or/Not and
+serialise to plain dictionaries so they can travel inside messages — a
+subscription established by a remote Context Server must ship its filter to
+the mediator that evaluates it.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.errors import SCIError
+from repro.events.event import ContextEvent
+
+
+class FilterError(SCIError):
+    """A filter specification is malformed."""
+
+
+class EventFilter:
+    """Base class: a predicate over :class:`ContextEvent`."""
+
+    def matches(self, event: ContextEvent) -> bool:
+        raise NotImplementedError
+
+    # composition sugar
+    def __and__(self, other: "EventFilter") -> "AndFilter":
+        return AndFilter([self, other])
+
+    def __or__(self, other: "EventFilter") -> "OrFilter":
+        return OrFilter([self, other])
+
+    def __invert__(self) -> "NotFilter":
+        return NotFilter(self)
+
+    def to_spec(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class MatchAll(EventFilter):
+    """Matches every event (the default subscription filter)."""
+
+    def matches(self, event: ContextEvent) -> bool:
+        return True
+
+    def to_spec(self) -> Dict[str, Any]:
+        return {"op": "all"}
+
+
+class TypeFilter(EventFilter):
+    """Match events of one semantic type (optionally one representation).
+
+    Subtype awareness lives in the resolver, not here: by the time a
+    subscription exists, the concrete event type is known.
+    """
+
+    def __init__(self, type_name: str, representation: Optional[str] = None):
+        self.type_name = type_name
+        self.representation = representation
+
+    def matches(self, event: ContextEvent) -> bool:
+        if event.type_name != self.type_name:
+            return False
+        if self.representation is not None and event.representation != self.representation:
+            return False
+        return True
+
+    def to_spec(self) -> Dict[str, Any]:
+        return {"op": "type", "type": self.type_name, "representation": self.representation}
+
+
+class SubjectFilter(EventFilter):
+    """Match events about one subject (e.g. location *of Bob*)."""
+
+    def __init__(self, subject: object):
+        self.subject = subject
+
+    def matches(self, event: ContextEvent) -> bool:
+        return event.subject == self.subject
+
+    def to_spec(self) -> Dict[str, Any]:
+        return {"op": "subject", "subject": self.subject}
+
+
+class SourceFilter(EventFilter):
+    """Match events produced by one Context Entity.
+
+    This is what configuration edges compile to: a downstream CE subscribes
+    to exactly its upstream providers (Figure 3's subscription graph).
+    """
+
+    def __init__(self, source_hex: str):
+        self.source_hex = source_hex
+
+    def matches(self, event: ContextEvent) -> bool:
+        return event.source.hex == self.source_hex
+
+    def to_spec(self) -> Dict[str, Any]:
+        return {"op": "source", "source": self.source_hex}
+
+
+_OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "contains": lambda a, b: b in a,
+}
+
+
+class AttributeFilter(EventFilter):
+    """Compare an event attribute (or the value itself) against a constant.
+
+    ``key`` addresses ``event.attributes[key]``; the special key ``"value"``
+    addresses ``event.value``. Missing keys never match.
+    """
+
+    def __init__(self, key: str, op: str, constant: Any):
+        if op not in _OPERATORS:
+            raise FilterError(f"unknown operator: {op!r}")
+        self.key = key
+        self.op = op
+        self.constant = constant
+
+    def matches(self, event: ContextEvent) -> bool:
+        if self.key == "value":
+            actual = event.value
+        elif self.key in event.attributes:
+            actual = event.attributes[self.key]
+        else:
+            return False
+        try:
+            return _OPERATORS[self.op](actual, self.constant)
+        except TypeError:
+            return False
+
+    def to_spec(self) -> Dict[str, Any]:
+        return {"op": "attr", "key": self.key, "cmp": self.op, "constant": self.constant}
+
+
+class AndFilter(EventFilter):
+    def __init__(self, parts: List[EventFilter]):
+        if not parts:
+            raise FilterError("empty AND filter")
+        self.parts = list(parts)
+
+    def matches(self, event: ContextEvent) -> bool:
+        return all(part.matches(event) for part in self.parts)
+
+    def to_spec(self) -> Dict[str, Any]:
+        return {"op": "and", "parts": [part.to_spec() for part in self.parts]}
+
+
+class OrFilter(EventFilter):
+    def __init__(self, parts: List[EventFilter]):
+        if not parts:
+            raise FilterError("empty OR filter")
+        self.parts = list(parts)
+
+    def matches(self, event: ContextEvent) -> bool:
+        return any(part.matches(event) for part in self.parts)
+
+    def to_spec(self) -> Dict[str, Any]:
+        return {"op": "or", "parts": [part.to_spec() for part in self.parts]}
+
+
+class NotFilter(EventFilter):
+    def __init__(self, inner: EventFilter):
+        self.inner = inner
+
+    def matches(self, event: ContextEvent) -> bool:
+        return not self.inner.matches(event)
+
+    def to_spec(self) -> Dict[str, Any]:
+        return {"op": "not", "inner": self.inner.to_spec()}
+
+
+def filter_from_spec(spec: Dict[str, Any]) -> EventFilter:
+    """Rebuild a filter shipped inside a message payload."""
+    try:
+        op = spec["op"]
+    except (KeyError, TypeError):
+        raise FilterError(f"malformed filter spec: {spec!r}") from None
+    if op == "all":
+        return MatchAll()
+    if op == "type":
+        return TypeFilter(spec["type"], spec.get("representation"))
+    if op == "subject":
+        return SubjectFilter(spec["subject"])
+    if op == "source":
+        return SourceFilter(spec["source"])
+    if op == "attr":
+        return AttributeFilter(spec["key"], spec["cmp"], spec["constant"])
+    if op == "and":
+        return AndFilter([filter_from_spec(part) for part in spec["parts"]])
+    if op == "or":
+        return OrFilter([filter_from_spec(part) for part in spec["parts"]])
+    if op == "not":
+        return NotFilter(filter_from_spec(spec["inner"]))
+    raise FilterError(f"unknown filter op: {op!r}")

@@ -1,0 +1,204 @@
+"""The Event Mediator — per-range pub/sub hub.
+
+Section 3.1: the Event Mediator "manages the establishment, maintenance and
+removal of event subscriptions between Context Entities and Context Aware
+Applications". CEs publish typed events to their range's mediator; the
+mediator evaluates subscription filters and forwards matching events.
+
+Protocol verbs (all message-based, so remote Context Servers can drive a
+mediator exactly like local components do):
+
+``publish``            {"event": <wire event>}
+``subscribe``          {"subscriber", "filter", "one_time", "owner"} -> ``subscribe-ack``
+``unsubscribe``        {"sub_id"} -> ``unsubscribe-ack``
+``unsubscribe-owner``  {"owner"} -> ``unsubscribe-owner-ack``
+``bridge-add``         {"peer", "filter"} -> ``bridge-ack``
+``bridge-remove``      {"bridge_id"} -> ``bridge-ack``
+
+Bridges republish matching events to a peer mediator in another range; a
+``bridged`` marker stops an event from being re-bridged, so two mediators
+bridging each other do not loop.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.ids import GUID
+from repro.net.message import Message
+from repro.net.transport import Network, Process
+from repro.events.event import ContextEvent
+from repro.events.filters import EventFilter, filter_from_spec
+from repro.events.subscription import Subscription
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class Bridge:
+    """Forwarding rule to a peer mediator in another range."""
+
+    bridge_id: int
+    peer: GUID
+    filter: EventFilter
+    forwarded: int = 0
+
+
+class EventMediator(Process):
+    """Pub/sub hub for one range."""
+
+    def __init__(self, guid: GUID, host_id: str, network: Network, range_name: str = ""):
+        super().__init__(guid, host_id, network, name=f"mediator:{range_name or guid}")
+        self.range_name = range_name
+        self._subscriptions: Dict[int, Subscription] = {}
+        self._bridges: Dict[int, Bridge] = {}
+        self._next_bridge_id = 1
+        self.published = 0
+        self.deliveries = 0
+        self.by_type: Counter = Counter()
+        #: most recent event per (type, representation, subject) — served to
+        #: late joiners so a new subscriber does not wait for the next change
+        self._retained: Dict[tuple, ContextEvent] = {}
+
+    # -- direct API (used by co-located Context Server and by tests) ---------
+
+    def add_subscription(
+        self,
+        subscriber: GUID,
+        event_filter: EventFilter,
+        one_time: bool = False,
+        owner: Optional[object] = None,
+        replay_retained: bool = True,
+    ) -> Subscription:
+        """Establish a subscription; optionally replay the retained event.
+
+        Replay gives a newly wired configuration its initial values (the
+        paper's Figure-3 graph must produce a first path without waiting for
+        Bob or John to move).
+        """
+        subscription = Subscription(
+            subscriber=subscriber,
+            filter=event_filter,
+            one_time=one_time,
+            owner=owner,
+            created_at=self.now,
+        )
+        self._subscriptions[subscription.sub_id] = subscription
+        if replay_retained:
+            for event in list(self._retained.values()):
+                if subscription.active and event_filter.matches(event):
+                    self._deliver(subscription, event)
+            if not subscription.active:
+                self._subscriptions.pop(subscription.sub_id, None)
+        return subscription
+
+    def remove_subscription(self, sub_id: int) -> bool:
+        return self._subscriptions.pop(sub_id, None) is not None
+
+    def remove_subscriptions_of(self, owner: object) -> int:
+        """Tear down every subscription established for ``owner``."""
+        doomed = [sid for sid, sub in self._subscriptions.items() if sub.owner == owner]
+        for sub_id in doomed:
+            del self._subscriptions[sub_id]
+        return len(doomed)
+
+    def remove_subscriber(self, subscriber: GUID) -> int:
+        """Drop all subscriptions delivering to ``subscriber`` (it departed)."""
+        doomed = [sid for sid, sub in self._subscriptions.items() if sub.subscriber == subscriber]
+        for sub_id in doomed:
+            del self._subscriptions[sub_id]
+        return len(doomed)
+
+    def add_bridge(self, peer: GUID, event_filter: EventFilter) -> Bridge:
+        bridge = Bridge(self._next_bridge_id, peer, event_filter)
+        self._next_bridge_id += 1
+        self._bridges[bridge.bridge_id] = bridge
+        return bridge
+
+    def remove_bridge(self, bridge_id: int) -> bool:
+        return self._bridges.pop(bridge_id, None) is not None
+
+    def publish(self, event: ContextEvent, bridged: bool = False) -> int:
+        """Distribute ``event``; returns the number of local deliveries."""
+        self.published += 1
+        self.by_type[event.type_name] += 1
+        self._retained[(event.type_name, event.representation, event.subject)] = event
+        delivered = 0
+        for subscription in list(self._subscriptions.values()):
+            if not subscription.active:
+                continue
+            if subscription.filter.matches(event):
+                self._deliver(subscription, event)
+                delivered += 1
+                if not subscription.active:
+                    self._subscriptions.pop(subscription.sub_id, None)
+        if not bridged:
+            for bridge in self._bridges.values():
+                if bridge.filter.matches(event):
+                    bridge.forwarded += 1
+                    self.send(bridge.peer, "publish",
+                              {"event": event.to_wire(), "bridged": True})
+        return delivered
+
+    def _deliver(self, subscription: Subscription, event: ContextEvent) -> None:
+        subscription.record_delivery()
+        self.deliveries += 1
+        self.send(subscription.subscriber, "event",
+                  {"event": event.to_wire(), "sub_id": subscription.sub_id})
+
+    # -- message protocol -----------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        handler = getattr(self, f"_handle_{message.kind.replace('-', '_')}", None)
+        if handler is None:
+            logger.debug("%s ignoring %s", self.name, message)
+            return
+        handler(message)
+
+    def _handle_publish(self, message: Message) -> None:
+        event = ContextEvent.from_wire(message.payload["event"])
+        self.publish(event, bridged=bool(message.payload.get("bridged")))
+
+    def _handle_subscribe(self, message: Message) -> None:
+        event_filter = filter_from_spec(message.payload["filter"])
+        subscriber = GUID.from_hex(message.payload["subscriber"])
+        subscription = self.add_subscription(
+            subscriber=subscriber,
+            event_filter=event_filter,
+            one_time=bool(message.payload.get("one_time")),
+            owner=message.payload.get("owner"),
+            replay_retained=bool(message.payload.get("replay", True)),
+        )
+        self.reply(message, "subscribe-ack", {"sub_id": subscription.sub_id})
+
+    def _handle_unsubscribe(self, message: Message) -> None:
+        removed = self.remove_subscription(message.payload["sub_id"])
+        self.reply(message, "unsubscribe-ack", {"removed": removed})
+
+    def _handle_unsubscribe_owner(self, message: Message) -> None:
+        count = self.remove_subscriptions_of(message.payload["owner"])
+        self.reply(message, "unsubscribe-owner-ack", {"removed": count})
+
+    def _handle_bridge_add(self, message: Message) -> None:
+        peer = GUID.from_hex(message.payload["peer"])
+        bridge = self.add_bridge(peer, filter_from_spec(message.payload["filter"]))
+        self.reply(message, "bridge-ack", {"bridge_id": bridge.bridge_id})
+
+    def _handle_bridge_remove(self, message: Message) -> None:
+        removed = self.remove_bridge(message.payload["bridge_id"])
+        self.reply(message, "bridge-ack", {"removed": removed})
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._subscriptions)
+
+    def subscriptions_for(self, subscriber: GUID) -> List[Subscription]:
+        return [sub for sub in self._subscriptions.values() if sub.subscriber == subscriber]
+
+    def retained_event(self, type_name: str, representation: str, subject: object) -> Optional[ContextEvent]:
+        return self._retained.get((type_name, representation, subject))

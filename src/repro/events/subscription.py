@@ -1,0 +1,44 @@
+"""Subscription records held by an Event Mediator."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.ids import GUID
+from repro.events.filters import EventFilter, MatchAll
+
+_subscription_ids = itertools.count(1)
+
+
+@dataclass
+class Subscription:
+    """One subscriber's interest in a stream of events.
+
+    ``one_time`` implements the paper's "One-time subscription" query mode:
+    "As above, but the subscription is cancelled after the CAA receives an
+    event."
+
+    ``owner`` identifies who established the subscription (usually the
+    Context Server on behalf of a configuration) so all subscriptions
+    belonging to a torn-down configuration can be removed together.
+    """
+
+    subscriber: GUID
+    filter: EventFilter = field(default_factory=MatchAll)
+    one_time: bool = False
+    owner: Optional[object] = None
+    created_at: float = 0.0
+    sub_id: int = field(default_factory=lambda: next(_subscription_ids))
+    delivered: int = 0
+    active: bool = True
+
+    def record_delivery(self) -> None:
+        self.delivered += 1
+        if self.one_time:
+            self.active = False
+
+    def __str__(self) -> str:
+        mode = "one-time" if self.one_time else "durable"
+        return f"Sub#{self.sub_id}({mode} -> {self.subscriber})"

@@ -1,0 +1,14 @@
+"""Failure injection and observation.
+
+Section 2 calls out robustness as the gap in prior systems: "the same
+context may come from several sources and the data sources may become
+available or unavailable due to user movement or component failure." These
+tools create those failures (crashes, loss episodes, partitions) and measure
+how delivery recovers — the instrumentation behind the C1 adaptivity
+benchmark.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.monitor import StreamProbe, DeliveryGap
+
+__all__ = ["FaultInjector", "StreamProbe", "DeliveryGap"]

@@ -1,0 +1,68 @@
+"""Deterministic fault injection for the simulated deployment."""
+
+from __future__ import annotations
+
+import logging
+import random
+from typing import Iterable, List, Optional
+
+from repro.entities.entity import BaseComponent
+from repro.net.transport import Network
+
+logger = logging.getLogger(__name__)
+
+
+class FaultInjector:
+    """Crashes components and degrades the network, reproducibly."""
+
+    def __init__(self, network: Network, seed: int = 0):
+        self.network = network
+        self.rng = random.Random(seed)
+        self.crashes: List[str] = []
+
+    # -- component failure ---------------------------------------------------------
+
+    def crash(self, component: BaseComponent) -> None:
+        """Fail-stop one component: it vanishes without deregistering.
+
+        The range notices through lease expiry (the Registrar's sweep), which
+        is what triggers configuration repair.
+        """
+        logger.info("fault: crashing %s at t=%.2f", component.name,
+                    self.network.scheduler.now)
+        self.crashes.append(component.name)
+        component.crash()
+
+    def crash_random(self, components: Iterable[BaseComponent]) -> Optional[BaseComponent]:
+        pool = [component for component in components
+                if component.network.process(component.guid) is not None]
+        if not pool:
+            return None
+        victim = self.rng.choice(sorted(pool, key=lambda c: c.name))
+        self.crash(victim)
+        return victim
+
+    # -- network degradation ------------------------------------------------------------
+
+    def loss_episode(self, drop_rate: float, duration: float) -> None:
+        """Raise the drop rate for ``duration``, then restore it."""
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError(f"drop_rate out of range: {drop_rate}")
+        previous = self.network.drop_rate
+        self.network.drop_rate = drop_rate
+        logger.info("fault: loss episode %.0f%% for %.1f", drop_rate * 100, duration)
+        self.network.scheduler.schedule(
+            duration, lambda: setattr(self.network, "drop_rate", previous))
+
+    def partition_episode(self, groups: List[List[str]], duration: float) -> None:
+        """Partition host groups for ``duration``, then heal."""
+        self.network.set_partitions(groups)
+        logger.info("fault: partition %s for %.1f", groups, duration)
+        self.network.scheduler.schedule(duration, self.network.heal_partitions)
+
+    def host_outage(self, host_id: str, duration: float) -> None:
+        """Take one machine down for ``duration``."""
+        self.network.fail_host(host_id)
+        logger.info("fault: host %s down for %.1f", host_id, duration)
+        self.network.scheduler.schedule(
+            duration, self.network.restore_host, host_id)

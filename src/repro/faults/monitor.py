@@ -1,0 +1,79 @@
+"""Delivery observation: measuring continuity of context streams.
+
+The adaptivity claim (C1) is about what a CAA *experiences* when a provider
+dies: how long its stream goes quiet before re-composition restores it. The
+:class:`StreamProbe` wraps a CAA's event feed with timestamps and computes
+delivery gaps against the stream's expected cadence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.entities.entity import ContextAwareApplication
+from repro.events.event import ContextEvent
+
+
+@dataclass
+class DeliveryGap:
+    """A quiet period longer than the expected cadence."""
+
+    start: float
+    end: float
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+
+class StreamProbe:
+    """Records event arrival times at one CAA for one event type."""
+
+    def __init__(self, app: ContextAwareApplication,
+                 type_name: Optional[str] = None):
+        self.app = app
+        self.type_name = type_name
+        self.arrivals: List[float] = []
+        self._previous_on_event = app.on_event
+
+        def hook(event: ContextEvent, sub_id) -> None:
+            if self.type_name is None or event.type_name == self.type_name:
+                self.arrivals.append(app.now)
+            self._previous_on_event(event, sub_id)
+
+        app.on_event = hook
+
+    def count(self) -> int:
+        return len(self.arrivals)
+
+    def arrivals_between(self, start: float, end: float) -> List[float]:
+        return [t for t in self.arrivals if start <= t <= end]
+
+    def gaps(self, expected_interval: float,
+             until: Optional[float] = None) -> List[DeliveryGap]:
+        """Quiet periods longer than ``expected_interval``."""
+        if expected_interval <= 0:
+            raise ValueError(f"non-positive interval: {expected_interval}")
+        end_time = until if until is not None else self.app.now
+        found: List[DeliveryGap] = []
+        previous = self.arrivals[0] if self.arrivals else 0.0
+        for arrival in self.arrivals[1:]:
+            if arrival - previous > expected_interval:
+                found.append(DeliveryGap(previous, arrival))
+            previous = arrival
+        if end_time - previous > expected_interval:
+            found.append(DeliveryGap(previous, end_time))
+        return found
+
+    def longest_gap(self, expected_interval: float,
+                    until: Optional[float] = None) -> float:
+        gaps = self.gaps(expected_interval, until)
+        return max((gap.length for gap in gaps), default=0.0)
+
+    def recovery_time(self, failure_at: float) -> Optional[float]:
+        """Time from ``failure_at`` to the first subsequent delivery."""
+        for arrival in self.arrivals:
+            if arrival > failure_at:
+                return arrival - failure_at
+        return None

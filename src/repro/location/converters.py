@@ -1,0 +1,66 @@
+"""Cross-model location conversions, registered into the type ontology.
+
+Section 3.3: "it may be necessary to convert geometric information to a
+hierarchical model or similarly convert network signal strength to a
+geometric position". Each conversion is a :class:`~repro.core.types.Converter`
+edge between representations of the semantic type ``location``; the query
+resolver composes chains of them automatically (e.g. ``signal`` ->
+``geometric`` -> ``topological`` -> ``symbolic``).
+
+Value encodings per representation:
+
+``symbolic``     full slash path, e.g. ``"strathclyde/livingstone/L10/L10.01"``
+``topological``  place node name, e.g. ``"L10.01"``
+``geometric``    an ``(x, y)`` tuple in metres
+``signal``       a list of ``(station_id, rssi_dbm)`` pairs
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.types import TypeRegistry
+from repro.location.building import BuildingModel
+from repro.location.geometry import Point
+from repro.location.signalmap import SignalObservation
+
+
+def register_location_converters(registry: TypeRegistry, building: BuildingModel) -> TypeRegistry:
+    """Install the location conversions for ``building`` into ``registry``.
+
+    Fidelity reflects information loss: collapsing a point to a room loses
+    in-room position (0.8); expanding a room to its centroid invents one
+    (0.7); signal-strength estimation is the coarsest (0.6).
+    """
+
+    def geometric_to_topological(value: Tuple[float, float]) -> str:
+        return building.nearest_room(Point(value[0], value[1]))
+
+    def topological_to_geometric(value: str) -> Tuple[float, float]:
+        centroid = building.room_centroid(value)
+        return (centroid.x, centroid.y)
+
+    def topological_to_symbolic(value: str) -> str:
+        return building.hierarchy.path_of(value)
+
+    def symbolic_to_topological(value: str) -> str:
+        leaf = value.rsplit("/", 1)[-1]
+        building.room(leaf)  # validate it names a real room
+        return leaf
+
+    def signal_to_geometric(value: List[Tuple[str, float]]) -> Tuple[float, float]:
+        observations = [SignalObservation(station, rssi) for station, rssi in value]
+        estimate = building.signal_map.estimate_position(observations)
+        return (estimate.x, estimate.y)
+
+    registry.add_converter("location", "geometric", "topological",
+                           geometric_to_topological, cost=1.0, fidelity=0.8)
+    registry.add_converter("location", "topological", "geometric",
+                           topological_to_geometric, cost=1.0, fidelity=0.7)
+    registry.add_converter("location", "topological", "symbolic",
+                           topological_to_symbolic, cost=0.5, fidelity=1.0)
+    registry.add_converter("location", "symbolic", "topological",
+                           symbolic_to_topological, cost=0.5, fidelity=1.0)
+    registry.add_converter("location", "signal", "geometric",
+                           signal_to_geometric, cost=2.0, fidelity=0.6)
+    return registry

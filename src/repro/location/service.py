@@ -1,0 +1,255 @@
+"""The Location Service Context Utility.
+
+Section 3.1: "Location Service: Handles the resolution of location related
+tasks." Concretely it (a) tracks the last-known location of every entity in
+the range by consuming location events, (b) evaluates Where expressions of
+the intermediate location language against candidate places, and (c) answers
+distance/path questions for Which policies ("closest to me") and for the
+Figure-3 path configuration.
+
+It is a :class:`~repro.net.transport.Process`, so remote Context Servers can
+interrogate it with ``locate`` / ``resolve-where`` / ``route`` messages, and
+it exposes the same operations as direct methods for its co-located server.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import LocationError
+from repro.core.ids import GUID
+from repro.location.building import BuildingModel
+from repro.location.geometry import Point
+from repro.location.language import LocationExpr, parse_location
+from repro.net.message import Message
+from repro.net.transport import Network, Process
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class EntityFix:
+    """Last-known location of one entity."""
+
+    entity_key: str
+    room: str
+    point: Point
+    timestamp: float
+
+
+class LocationService(Process):
+    """Per-range location tracking and Where-expression resolution."""
+
+    def __init__(self, guid: GUID, host_id: str, network: Network,
+                 building: BuildingModel, range_name: str = ""):
+        super().__init__(guid, host_id, network, name=f"location:{range_name or guid}")
+        self.building = building
+        self._fixes: Dict[str, EntityFix] = {}
+        #: callbacks fired on every fix: (fix, previous_room) — the Context
+        #: Server listens here for the "enters(entity, place)" When triggers
+        self.observers: List = []
+
+    # -- tracking ---------------------------------------------------------------
+
+    def update(self, entity_key: str, room: Optional[str] = None,
+               point: Optional[Point] = None, timestamp: Optional[float] = None) -> EntityFix:
+        """Record a location fix from a room name, a point, or both."""
+        if room is None and point is None:
+            raise LocationError("a fix needs a room or a point")
+        if room is None:
+            room = self.building.nearest_room(point)
+        elif point is None:
+            point = self.building.room_centroid(room)
+        previous = self._fixes.get(entity_key)
+        previous_room = previous.room if previous else None
+        fix = EntityFix(entity_key, room, point,
+                        self.now if timestamp is None else timestamp)
+        self._fixes[entity_key] = fix
+        for observer in list(self.observers):
+            observer(fix, previous_room)
+        return fix
+
+    def forget(self, entity_key: str) -> None:
+        """Drop tracking for a departed entity."""
+        self._fixes.pop(entity_key, None)
+
+    def locate(self, entity_key: str) -> Optional[EntityFix]:
+        return self._fixes.get(entity_key)
+
+    def tracked_entities(self) -> List[str]:
+        return list(self._fixes)
+
+    def entities_in(self, place: str) -> List[str]:
+        """Entities whose last fix lies in ``place`` (or beneath it)."""
+        return [
+            key for key, fix in self._fixes.items()
+            if self.building.hierarchy.contains(place, fix.room)
+        ]
+
+    # -- Where-expression evaluation ----------------------------------------------
+
+    def resolve_point(self, expr: LocationExpr, owner: Optional[str] = None) -> Point:
+        """Collapse an expression to a representative point."""
+        if expr.kind == "room":
+            return self.building.room_centroid(self._validated_room(expr.name))
+        if expr.kind == "point":
+            return Point(expr.point[0], expr.point[1])
+        if expr.kind in ("entity", "me"):
+            key = owner if expr.kind == "me" else expr.name
+            if key is None:
+                raise LocationError("'me' used without a query owner")
+            fix = self.locate(key)
+            if fix is None:
+                raise LocationError(f"no known location for entity {key!r}")
+            return fix.point
+        if expr.kind in ("within", "near"):
+            return self.resolve_point(expr.inner, owner)
+        raise LocationError(f"expression has no point: {expr}")
+
+    def resolve_rooms(self, expr: LocationExpr, owner: Optional[str] = None) -> List[str]:
+        """All rooms satisfying the expression (empty only for dead regions)."""
+        if expr.kind == "anywhere":
+            return self.building.room_names()
+        if expr.kind == "near":
+            centre = self.resolve_point(expr.inner, owner)
+            return [
+                spec.name for spec in self.building.rooms()
+                if spec.shape.distance_to_point(centre) <= expr.radius
+            ]
+        if expr.kind == "within":
+            return self._rooms_within(expr.inner, owner)
+        # point-like expressions resolve to the single containing room
+        return [self.building.nearest_room(self.resolve_point(expr, owner))]
+
+    def _rooms_within(self, inner: LocationExpr, owner: Optional[str]) -> List[str]:
+        if inner.kind == "room":
+            place = inner.name
+            if not self.building.hierarchy.known(place):
+                raise LocationError(f"unknown place: {place!r}")
+            return [
+                name for name in self.building.room_names()
+                if self.building.hierarchy.contains(place, name)
+            ]
+        return self.resolve_rooms(inner, owner)
+
+    def place_matches(self, expr: LocationExpr, room: str,
+                      owner: Optional[str] = None) -> bool:
+        """Does candidate ``room`` satisfy the Where expression?"""
+        if expr.kind == "anywhere":
+            return True
+        return room in self.resolve_rooms(expr, owner)
+
+    # -- distance / routing ---------------------------------------------------------
+
+    def distance_between(self, expr_a: LocationExpr, expr_b: LocationExpr,
+                         owner: Optional[str] = None,
+                         entity_key: object = None) -> float:
+        """Walking distance between two expressions (inf if unreachable)."""
+        room_a = self.building.nearest_room(self.resolve_point(expr_a, owner))
+        room_b = self.building.nearest_room(self.resolve_point(expr_b, owner))
+        return self.building.walking_distance(room_a, room_b, entity_key)
+
+    def route_between(self, expr_a: LocationExpr, expr_b: LocationExpr,
+                      owner: Optional[str] = None,
+                      entity_key: object = None) -> Tuple[List[str], List[Point]]:
+        """Room sequence plus geometric polyline between two expressions."""
+        room_a = self.building.nearest_room(self.resolve_point(expr_a, owner))
+        room_b = self.building.nearest_room(self.resolve_point(expr_b, owner))
+        rooms, _ = self.building.route(room_a, room_b, entity_key)
+        polyline = self.building.route_polyline(room_a, room_b, entity_key)
+        return rooms, polyline
+
+    def _validated_room(self, name: str) -> str:
+        if not self.building.hierarchy.known(name):
+            raise LocationError(f"unknown place: {name!r}")
+        return name
+
+    # -- message protocol --------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == "event":
+            self._consume_location_event(message)
+        elif message.kind == "locate":
+            self._handle_locate(message)
+        elif message.kind == "resolve-where":
+            self._handle_resolve_where(message)
+        elif message.kind == "route":
+            self._handle_route(message)
+        else:
+            logger.debug("%s ignoring %s", self.name, message)
+
+    def _consume_location_event(self, message: Message) -> None:
+        """Fold a location or presence event into tracking.
+
+        The service subscribes to both: ``location`` events from location
+        providers, and raw door-sensor ``presence`` events — a tagged person
+        crossing a sensed door is the range's primary movement signal, and
+        keeping it here is what lets the Context Server evaluate
+        ``enters(entity, place)`` triggers and ``closest-to(me)`` policies
+        without per-person tracking configurations.
+        """
+        wire = message.payload["event"]
+        if wire["type"] == "presence" and isinstance(wire["value"], dict):
+            to_room = wire["value"].get("to")
+            entity = wire["value"].get("entity")
+            if to_room and entity:
+                try:
+                    self.update(str(entity), room=to_room,
+                                timestamp=wire["timestamp"])
+                except LocationError as exc:
+                    logger.warning("%s could not ingest presence %s: %s",
+                                   self.name, wire, exc)
+            return
+        if wire["type"] != "location" or wire["subject"] is None:
+            return
+        value = wire["value"]
+        representation = wire["representation"]
+        try:
+            if representation in ("topological", "symbolic"):
+                room = str(value).rsplit("/", 1)[-1]
+                self.update(str(wire["subject"]), room=room, timestamp=wire["timestamp"])
+            elif representation == "geometric":
+                self.update(str(wire["subject"]),
+                            point=Point(value[0], value[1]),
+                            timestamp=wire["timestamp"])
+        except LocationError as exc:
+            logger.warning("%s could not ingest %s: %s", self.name, wire, exc)
+
+    def _handle_locate(self, message: Message) -> None:
+        fix = self.locate(message.payload["entity"])
+        if fix is None:
+            self.reply(message, "location", {"found": False})
+        else:
+            self.reply(message, "location", {
+                "found": True,
+                "room": fix.room,
+                "point": fix.point.as_tuple(),
+                "timestamp": fix.timestamp,
+            })
+
+    def _handle_resolve_where(self, message: Message) -> None:
+        try:
+            expr = parse_location(message.payload["expr"])
+            rooms = self.resolve_rooms(expr, message.payload.get("owner"))
+            self.reply(message, "where-resolved", {"ok": True, "rooms": rooms})
+        except LocationError as exc:
+            self.reply(message, "where-resolved", {"ok": False, "error": str(exc)})
+
+    def _handle_route(self, message: Message) -> None:
+        try:
+            expr_a = parse_location(message.payload["from"])
+            expr_b = parse_location(message.payload["to"])
+            rooms, polyline = self.route_between(
+                expr_a, expr_b,
+                owner=message.payload.get("owner"),
+                entity_key=message.payload.get("entity_key"),
+            )
+            self.reply(message, "route-result", {
+                "ok": True,
+                "rooms": rooms,
+                "polyline": [p.as_tuple() for p in polyline],
+            })
+        except LocationError as exc:
+            self.reply(message, "route-result", {"ok": False, "error": str(exc)})

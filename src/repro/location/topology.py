@@ -1,0 +1,184 @@
+"""Topological location model: places joined by doors.
+
+Captures the "topological ... spatial relations" of the paper's future-work
+item 4 and everything CAPA needs: doors connect rooms/corridors, doors can be
+locked against particular entities (printer P3 "behind a locked door to which
+John has no access"), and paths are shortest routes that respect access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.core.errors import LocationError
+
+
+@dataclass
+class Door:
+    """A traversable connection between two places.
+
+    ``access`` is None for a public door, otherwise the set of entity keys
+    allowed through. ``sensor_id`` names the door-sensor Context Entity
+    mounted on it, if any (the Figure-3 doorSensorCEs).
+    """
+
+    door_id: str
+    place_a: str
+    place_b: str
+    length: float = 1.0
+    access: Optional[Set[object]] = None
+    sensor_id: Optional[str] = None
+
+    def other_side(self, place: str) -> str:
+        if place == self.place_a:
+            return self.place_b
+        if place == self.place_b:
+            return self.place_a
+        raise LocationError(f"door {self.door_id} does not touch {place!r}")
+
+    def allows(self, entity_key: object) -> bool:
+        return self.access is None or entity_key in self.access
+
+    def lock(self, allowed: Set[object]) -> None:
+        """Restrict the door to ``allowed`` entity keys."""
+        self.access = set(allowed)
+
+    def unlock(self) -> None:
+        self.access = None
+
+
+class Topology:
+    """An undirected multigraph of places and doors with path queries."""
+
+    def __init__(self):
+        self._graph = nx.MultiGraph()
+        self._doors: Dict[str, Door] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add_place(self, name: str) -> str:
+        self._graph.add_node(name)
+        return name
+
+    def add_door(self, door: Door) -> Door:
+        if door.door_id in self._doors:
+            raise LocationError(f"duplicate door: {door.door_id!r}")
+        if door.length <= 0:
+            raise LocationError(f"non-positive door length: {door.length}")
+        self.add_place(door.place_a)
+        self.add_place(door.place_b)
+        self._doors[door.door_id] = door
+        self._graph.add_edge(door.place_a, door.place_b,
+                             key=door.door_id, weight=door.length)
+        return door
+
+    def connect(self, place_a: str, place_b: str, door_id: Optional[str] = None,
+                length: float = 1.0, sensor_id: Optional[str] = None) -> Door:
+        """Shorthand for :meth:`add_door`."""
+        door_id = door_id or f"door:{place_a}--{place_b}"
+        return self.add_door(Door(door_id, place_a, place_b, length,
+                                  sensor_id=sensor_id))
+
+    # -- queries --------------------------------------------------------------
+
+    def door(self, door_id: str) -> Door:
+        try:
+            return self._doors[door_id]
+        except KeyError:
+            raise LocationError(f"unknown door: {door_id!r}") from None
+
+    def doors(self) -> List[Door]:
+        return list(self._doors.values())
+
+    def doors_of(self, place: str) -> List[Door]:
+        self._require(place)
+        return [door for door in self._doors.values()
+                if place in (door.place_a, door.place_b)]
+
+    def places(self) -> List[str]:
+        return list(self._graph.nodes)
+
+    def known(self, place: str) -> bool:
+        return self._graph.has_node(place)
+
+    def neighbours(self, place: str, entity_key: object = None) -> List[str]:
+        """Places reachable in one hop, respecting door access for ``entity_key``."""
+        self._require(place)
+        reachable = []
+        for door in self.doors_of(place):
+            if entity_key is None or door.allows(entity_key):
+                reachable.append(door.other_side(place))
+        return reachable
+
+    def shortest_path(self, source: str, target: str,
+                      entity_key: object = None) -> Tuple[List[str], float]:
+        """Cheapest place sequence from ``source`` to ``target``.
+
+        Doors the entity may not pass are excluded. Raises
+        :class:`LocationError` when no route exists.
+        """
+        self._require(source)
+        self._require(target)
+        view = self._accessible_view(entity_key)
+        try:
+            path = nx.shortest_path(view, source, target, weight="weight")
+        except nx.NetworkXNoPath:
+            raise LocationError(
+                f"no accessible route from {source!r} to {target!r}"
+            ) from None
+        return path, self._path_cost(view, path)
+
+    def distance(self, source: str, target: str, entity_key: object = None) -> float:
+        """Shortest accessible route length; inf when unreachable."""
+        try:
+            _, cost = self.shortest_path(source, target, entity_key)
+            return cost
+        except LocationError:
+            return float("inf")
+
+    def reachable(self, source: str, target: str, entity_key: object = None) -> bool:
+        return self.distance(source, target, entity_key) != float("inf")
+
+    def path_doors(self, path: List[str], entity_key: object = None) -> List[Door]:
+        """The cheapest accessible door for each consecutive place pair."""
+        chosen: List[Door] = []
+        for place, nxt in zip(path, path[1:]):
+            candidates = [
+                door for door in self.doors_of(place)
+                if door.other_side(place) == nxt
+                and (entity_key is None or door.allows(entity_key))
+            ]
+            if not candidates:
+                raise LocationError(f"no accessible door between {place!r} and {nxt!r}")
+            chosen.append(min(candidates, key=lambda door: door.length))
+        return chosen
+
+    def _accessible_view(self, entity_key: object):
+        if entity_key is None:
+            return self._graph
+        blocked = {
+            (door.place_a, door.place_b, door.door_id)
+            for door in self._doors.values()
+            if not door.allows(entity_key)
+        }
+        if not blocked:
+            return self._graph
+        return nx.restricted_view(self._graph, [], blocked)
+
+    @staticmethod
+    def _path_cost(graph, path: List[str]) -> float:
+        total = 0.0
+        for place, nxt in zip(path, path[1:]):
+            edges = graph.get_edge_data(place, nxt)
+            total += min(data["weight"] for data in edges.values())
+        return total
+
+    def _require(self, place: str) -> None:
+        if not self._graph.has_node(place):
+            raise LocationError(f"unknown place: {place!r}")
+
+    def __repr__(self) -> str:
+        return f"Topology(places={self._graph.number_of_nodes()}, doors={len(self._doors)})"

@@ -1,0 +1,20 @@
+"""The model of mobility (Section 3.4) over a simulated physical world.
+
+"In a dynamic environment entities will move in and between Ranges
+throughout their lifecycle. To allow for this mobility each range monitors
+internal activity as well as activity at its boundaries in order to detect
+the arrival and departure of entities."
+
+:mod:`repro.mobility.world` simulates people/devices with positions and
+walking movement, firing door sensors as they cross doors;
+:mod:`repro.mobility.detection` is the boundary monitor that admits a mobile
+machine's components to a range (the lobby base station detecting Bob's PDA)
+and expels them on exit; :mod:`repro.mobility.handoff` carries server-side
+profile attributes between ranges.
+"""
+
+from repro.mobility.world import World, PhysicalEntity
+from repro.mobility.detection import BoundaryMonitor
+from repro.mobility.handoff import HandoffCoordinator
+
+__all__ = ["World", "PhysicalEntity", "BoundaryMonitor", "HandoffCoordinator"]

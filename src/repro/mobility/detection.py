@@ -1,0 +1,115 @@
+"""Range boundary monitoring — arrival and departure detection.
+
+Section 3.4: "each range monitors internal activity as well as activity at
+its boundaries in order to detect the arrival and departure of entities. For
+example, a user wearing an id tag arriving or leaving their range by walking
+through a door equipped with a sensor for detecting id tags would be
+discovered. Similarly a user with a W-LAN equipped device could be detected
+leaving the effective operating range of a wireless network."
+
+The :class:`BoundaryMonitor` periodically evaluates which range governs each
+mobile entity's position (room containment for physically-bounded ranges,
+base-station coverage for W-LAN-bounded ones). On a transition it:
+
+* asks the new range's Context Server to **admit** the entity's device host
+  (its Range Service offers registration to the components on the machine —
+  the CAPA lobby scenario), and
+* asks the old range's Context Server to **expel** the components that
+  registered from that host (plus runs handoff, if configured).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, List, Optional, Tuple
+
+from repro.mobility.world import PhysicalEntity, World
+from repro.net.sim import Timer
+from repro.server.context_server import ContextServer
+
+logger = logging.getLogger(__name__)
+
+
+class BoundaryMonitor:
+    """Watches world positions and drives range admission/expulsion."""
+
+    def __init__(self, world: World, ranges: List[ContextServer],
+                 scan_interval: float = 1.0, handoff=None):
+        if scan_interval <= 0:
+            raise ValueError(f"non-positive scan interval: {scan_interval}")
+        self.world = world
+        self.ranges = list(ranges)
+        self.handoff = handoff
+        #: entity key -> range name it is currently attributed to (or None)
+        self._range_of: Dict[str, Optional[str]] = {}
+        self.transitions = 0
+        self._timer: Timer = world.scheduler.schedule_periodic(
+            scan_interval, self.scan)
+
+    def stop(self) -> None:
+        self._timer.cancel()
+
+    def range_of(self, entity_key: str) -> Optional[str]:
+        return self._range_of.get(entity_key)
+
+    # -- scanning ---------------------------------------------------------------------
+
+    def scan(self) -> int:
+        """One sweep; returns the number of transitions detected."""
+        changed = 0
+        for entity in self.world.entities():
+            if entity.device_host is None:
+                continue  # only device-carrying entities register components
+            current = self._governing_range(entity)
+            previous = self._range_of.get(entity.key)
+            current_name = current.definition.name if current else None
+            if current_name == previous:
+                continue
+            changed += 1
+            self.transitions += 1
+            self._transition(entity, previous, current)
+            self._range_of[entity.key] = current_name
+        return changed
+
+    def _governing_range(self, entity: PhysicalEntity) -> Optional[ContextServer]:
+        """The range responsible for the entity's position.
+
+        Room containment beats radio coverage: a W-LAN-bounded range (the
+        lift lobby's base station) can overhear devices deep inside another
+        range's rooms, but the room's own range governs there. Station
+        coverage decides only where no room-based range claims the point.
+        """
+        building = self.world.building
+        room = building.room_at(entity.position)
+        if room is not None:
+            for server in self.ranges:
+                if server.definition.governs_place(building, room):
+                    return server
+        for server in self.ranges:
+            if server.definition.governs_point(building, entity.position):
+                return server
+        return None
+
+    def _transition(self, entity: PhysicalEntity,
+                    previous_name: Optional[str],
+                    current: Optional[ContextServer]) -> None:
+        previous = next((server for server in self.ranges
+                         if server.definition.name == previous_name), None)
+        logger.info("boundary: %s %s -> %s", entity.key,
+                    previous_name or "<no range>",
+                    current.definition.name if current else "<no range>")
+        if previous is not None:
+            departing = [record for record in previous.registrar.records()
+                         if record.host_id == entity.device_host]
+            if self.handoff is not None and current is not None:
+                for record in departing:
+                    self.handoff.carry(record, previous, current)
+            for record in departing:
+                previous.expel_entity(record.entity_hex, reason="left-range")
+        if current is not None:
+            current.admit_host(entity.device_host)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def attribution(self) -> Dict[str, Optional[str]]:
+        return dict(self._range_of)

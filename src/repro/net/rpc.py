@@ -1,0 +1,115 @@
+"""Request/response correlation over the message transport.
+
+The paper's prototype used "a combination of distributed events and point to
+point communication". The point-to-point half needs request/reply semantics
+(register -> ack, query -> results, profile request -> profile). The
+:class:`RequestManager` gives a :class:`~repro.net.transport.Process` that
+capability: it assigns callbacks to outgoing requests and routes replies (or
+timeouts, since the transport drops silently) back to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.ids import GUID
+from repro.net.message import Message
+from repro.net.sim import Timer
+from repro.net.transport import Process
+
+
+@dataclass
+class PendingRequest:
+    """Book-keeping for one in-flight request."""
+
+    msg_id: int
+    kind: str
+    on_reply: Callable[[Message], None]
+    on_timeout: Optional[Callable[[], None]] = None
+    timer: Optional[Timer] = None
+    #: set when resolved either way; late replies to a timed-out request are
+    #: dropped rather than invoking the callback twice.
+    resolved: bool = False
+
+
+class RequestManager:
+    """Correlates replies with requests for one owning process.
+
+    Usage: the owner calls :meth:`request` instead of ``Process.send`` and
+    gives its :meth:`dispatch_reply` first refusal on every inbound message::
+
+        def on_message(self, message):
+            if self.requests.dispatch_reply(message):
+                return
+            ...  # normal protocol handling
+    """
+
+    def __init__(self, owner: Process, default_timeout: float = 50.0):
+        if default_timeout <= 0:
+            raise ValueError(f"non-positive timeout: {default_timeout}")
+        self.owner = owner
+        self.default_timeout = default_timeout
+        self._pending: Dict[int, PendingRequest] = {}
+        self.timeouts = 0
+        self.completed = 0
+
+    def request(
+        self,
+        recipient: GUID,
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+        on_reply: Optional[Callable[[Message], None]] = None,
+        on_timeout: Optional[Callable[[], None]] = None,
+        timeout: Optional[float] = None,
+    ) -> PendingRequest:
+        """Send ``kind``/``payload`` to ``recipient`` expecting a reply."""
+        message = self.owner.send(recipient, kind, payload)
+        pending = PendingRequest(
+            msg_id=message.msg_id,
+            kind=kind,
+            on_reply=on_reply or (lambda _reply: None),
+            on_timeout=on_timeout,
+        )
+        window = timeout if timeout is not None else self.default_timeout
+        pending.timer = self.owner.scheduler.schedule(window, self._expire, pending)
+        self._pending[message.msg_id] = pending
+        return pending
+
+    def dispatch_reply(self, message: Message) -> bool:
+        """Consume ``message`` if it answers a pending request.
+
+        Returns True when consumed; the owner should then stop processing it.
+        """
+        if message.reply_to is None:
+            return False
+        pending = self._pending.pop(message.reply_to, None)
+        if pending is None or pending.resolved:
+            return False
+        pending.resolved = True
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self.completed += 1
+        pending.on_reply(message)
+        return True
+
+    def cancel_all(self) -> None:
+        """Drop every in-flight request without firing callbacks (shutdown)."""
+        for pending in self._pending.values():
+            pending.resolved = True
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._pending.clear()
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def _expire(self, pending: PendingRequest) -> None:
+        if pending.resolved:
+            return
+        pending.resolved = True
+        self._pending.pop(pending.msg_id, None)
+        self.timeouts += 1
+        if pending.on_timeout is not None:
+            pending.on_timeout()

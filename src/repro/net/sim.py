@@ -1,0 +1,146 @@
+"""The discrete-event scheduler that drives all simulated time.
+
+Every latency, lease, heartbeat and movement step in the reproduction is a
+callback scheduled here. The scheduler is a plain binary heap keyed by
+``(time, sequence)`` — the monotonically increasing sequence number makes
+same-instant events fire in schedule order, which is what keeps whole-system
+runs bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Cancellation is lazy: the heap entry stays put and is skipped when
+    popped, which is O(1) and keeps the heap simple.
+    """
+
+    __slots__ = ("when", "fn", "cancelled")
+
+    def __init__(self, when: float, fn: Callable[[], None]):
+        self.when = when
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Scheduler:
+    """A deterministic discrete-event loop.
+
+    >>> sched = Scheduler()
+    >>> fired = []
+    >>> _ = sched.schedule(5.0, fired.append, "late")
+    >>> _ = sched.schedule(1.0, fired.append, "early")
+    >>> sched.run_until_idle()
+    5.0
+    >>> fired
+    ['early', 'late']
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Timer]] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args, **kwargs) -> Timer:
+        """Run ``fn(*args, **kwargs)`` after ``delay`` simulated time units."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self.now + delay, fn, *args, **kwargs)
+
+    def schedule_at(self, when: float, fn: Callable, *args, **kwargs) -> Timer:
+        """Run ``fn(*args, **kwargs)`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
+        if args or kwargs:
+            bound = lambda: fn(*args, **kwargs)  # noqa: E731 - tiny closure
+        else:
+            bound = fn
+        timer = Timer(when, bound)
+        heapq.heappush(self._heap, (when, next(self._sequence), timer))
+        return timer
+
+    def call_soon(self, fn: Callable, *args, **kwargs) -> Timer:
+        """Run a callback at the current instant, after pending same-time events."""
+        return self.schedule(0.0, fn, *args, **kwargs)
+
+    def schedule_periodic(self, interval: float, fn: Callable) -> Timer:
+        """Run ``fn()`` every ``interval`` units until the returned timer is
+        cancelled. The handle returned stays valid across re-arms."""
+        if interval <= 0:
+            raise ValueError(f"non-positive interval: {interval}")
+        handle = Timer(self.now + interval, lambda: None)
+
+        def tick():
+            if handle.cancelled:
+                return
+            fn()
+            if not handle.cancelled:
+                inner = self.schedule(interval, tick)
+                handle.when = inner.when
+
+        inner = self.schedule(interval, tick)
+        handle.when = inner.when
+        return handle
+
+    # -- running ------------------------------------------------------------
+
+    def run_until_idle(self, max_time: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Drain the event heap; returns the final simulated time.
+
+        ``max_time`` bounds how far the clock may advance (events beyond it
+        stay queued); ``max_events`` is a runaway guard.
+        """
+        processed = 0
+        while self._heap:
+            when, _seq, timer = self._heap[0]
+            if max_time is not None and when > max_time:
+                self.now = max_time
+                break
+            heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self.now = when
+            timer.fn()
+            processed += 1
+            self._events_processed += 1
+            if processed >= max_events:
+                raise RuntimeError(f"scheduler exceeded {max_events} events; runaway loop?")
+        if max_time is not None and self.now < max_time:
+            self.now = max_time  # time passes even when nothing is scheduled
+        return self.now
+
+    def run_for(self, duration: float) -> float:
+        """Advance the clock ``duration`` units, firing due events."""
+        return self.run_until_idle(max_time=self.now + duration)
+
+    def run_until(self, when: float) -> float:
+        """Advance the clock to absolute time ``when``, firing due events."""
+        if when < self.now:
+            raise ValueError(f"cannot run backwards: {when} < {self.now}")
+        return self.run_until_idle(max_time=when)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for _, _, timer in self._heap if not timer.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def __repr__(self) -> str:
+        return f"Scheduler(now={self.now:.3f}, pending={self.pending})"

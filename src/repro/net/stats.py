@@ -1,0 +1,93 @@
+"""Traffic statistics used by the benchmarks.
+
+The Figure-1 experiment needs per-host load to show that the hierarchical
+baseline develops a root hotspot while the overlay does not, and delivery
+latency samples to show the two are otherwise comparable. The stats object
+is owned by the :class:`~repro.net.transport.Network` and updated on every
+send/deliver/drop.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class MessageStats:
+    """Counters and samples accumulated by a :class:`~repro.net.transport.Network`."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    undeliverable: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+    #: messages handled per host — the hotspot metric for Figure 1
+    host_load: Counter = field(default_factory=Counter)
+    #: end-to-end delivery latency samples (simulated time units)
+    latencies: List[float] = field(default_factory=list)
+
+    def record_send(self, kind: str) -> None:
+        self.sent += 1
+        self.by_kind[kind] += 1
+
+    def record_delivery(self, host_id: str, latency: float) -> None:
+        self.delivered += 1
+        self.host_load[host_id] += 1
+        self.latencies.append(latency)
+
+    def record_drop(self) -> None:
+        self.dropped += 1
+
+    def record_undeliverable(self) -> None:
+        self.undeliverable += 1
+
+    def reset(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.undeliverable = 0
+        self.by_kind.clear()
+        self.host_load.clear()
+        self.latencies.clear()
+
+    @property
+    def max_host_load(self) -> int:
+        return max(self.host_load.values()) if self.host_load else 0
+
+    @property
+    def mean_host_load(self) -> float:
+        if not self.host_load:
+            return 0.0
+        return sum(self.host_load.values()) / len(self.host_load)
+
+    def hotspot_ratio(self) -> float:
+        """max/mean host load: ~1 means balanced, large means a bottleneck."""
+        mean = self.mean_host_load
+        return self.max_host_load / mean if mean else 0.0
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile; ``fraction`` in [0, 1]."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction out of range: {fraction}")
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """mean / p50 / p95 / max summary used by the bench reports."""
+    if not samples:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    return {
+        "count": len(samples),
+        "mean": sum(samples) / len(samples),
+        "p50": percentile(samples, 0.50),
+        "p95": percentile(samples, 0.95),
+        "max": max(samples),
+    }

@@ -1,0 +1,28 @@
+"""The SCINET — "a network overlay of partially connected nodes" (Figure 1).
+
+Section 3: "The network overlay approach provides the infrastructure with
+favourable scalability and robustness characteristics that would have not
+been possible with a hierarchical arrangement of nodes. Routing through an
+overlay network avoids any bottlenecks created when using hierarchical
+infrastructures whilst achieving comparable performance [9]. It also
+provides the necessary level of abstraction in order for entities to
+communicate across many heterogeneous network types using GUIDs rather than
+traditional addressing schemes."
+
+:mod:`repro.overlay.node` implements Pastry-style prefix routing over GUIDs;
+:mod:`repro.overlay.scinet` manages membership, the replicated range
+directory and DHT put/get; :mod:`repro.overlay.hierarchy` is the
+tree-of-servers comparator the Figure-1 benchmark measures against.
+"""
+
+from repro.overlay.node import OverlayNode, RoutingTable
+from repro.overlay.scinet import SCINet
+from repro.overlay.hierarchy import HierarchyNetwork, HierarchyNode
+
+__all__ = [
+    "OverlayNode",
+    "RoutingTable",
+    "SCINet",
+    "HierarchyNetwork",
+    "HierarchyNode",
+]

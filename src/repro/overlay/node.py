@@ -1,0 +1,275 @@
+"""One SCINET overlay node: Pastry-style prefix routing over GUIDs.
+
+Each range's Context Server attaches one overlay node (usually on its own
+host). A node keeps a routing table (rows by shared-prefix length, columns
+by next hex digit) and a leaf set of numerically closest nodes. ``route``
+forwards a payload toward the node whose GUID is numerically closest to a
+key; expected hop count is O(log16 N), which the Figure-1 benchmark
+verifies.
+
+Nodes also answer DHT verbs (the range directory's storage), apply
+broadcast announcements (directory replication) and count per-node routed
+load for the hotspot analysis.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.core.ids import GUID, GUID_DIGITS
+from repro.net.message import Message
+from repro.net.transport import Network, Process
+
+logger = logging.getLogger(__name__)
+
+#: leaf-set half width (nodes kept on each numeric side)
+LEAF_HALF = 4
+
+
+_RING = 1 << 128
+
+
+def _ring_offset(origin: GUID, target: GUID) -> int:
+    """Clockwise distance from ``origin`` to ``target`` on the GUID ring."""
+    return (target.value - origin.value) % _RING
+
+
+class RoutingTable:
+    """Pastry routing state: prefix table + exact ring-order leaf sets.
+
+    The prefix table gives O(log16 N) hops; the leaf sets (``LEAF_HALF``
+    immediate ring neighbours on each side) give the final-hop correctness
+    guarantee: a key that falls within a node's leaf span is handed straight
+    to the numerically closest member. Leaf sets are maintained exactly by
+    the management plane (:meth:`repro.overlay.scinet.SCINet.join`), which
+    is what a converged Pastry maintenance protocol produces.
+    """
+
+    def __init__(self, owner: GUID):
+        self.owner = owner
+        # rows[row][digit] -> node GUID; row = shared prefix length
+        self._rows: Dict[int, Dict[int, GUID]] = {}
+        self._right: List[GUID] = []   # successors, nearest first
+        self._left: List[GUID] = []    # predecessors, nearest first
+
+    # -- maintenance ----------------------------------------------------------
+
+    def add(self, node: GUID) -> None:
+        """Add a prefix-table entry (leaf sets are set via set_leaves)."""
+        if node == self.owner:
+            return
+        row = self.owner.shared_prefix_len(node)
+        digit = node.digit(row)
+        slot = self._rows.setdefault(row, {})
+        incumbent = slot.get(digit)
+        if incumbent is None or node.distance(self.owner) < incumbent.distance(self.owner):
+            slot[digit] = node
+
+    def remove(self, node: GUID) -> None:
+        if node == self.owner:
+            return
+        row = self.owner.shared_prefix_len(node)
+        slot = self._rows.get(row, {})
+        digit = node.digit(row)
+        if slot.get(digit) == node:
+            del slot[digit]
+        if node in self._right:
+            self._right.remove(node)
+        if node in self._left:
+            self._left.remove(node)
+
+    def set_leaves(self, members: List[GUID]) -> None:
+        """Recompute exact leaf sets from the full membership."""
+        others = [node for node in members if node != self.owner]
+        by_clockwise = sorted(others, key=lambda node: _ring_offset(self.owner, node))
+        self._right = by_clockwise[:LEAF_HALF]
+        self._left = list(reversed(by_clockwise))[:LEAF_HALF]
+
+    # -- lookup ----------------------------------------------------------------
+
+    def next_hop(self, key: GUID) -> Optional[GUID]:
+        """The node to forward ``key`` toward; None means deliver here.
+
+        Rule order (Pastry): leaf-span shortcut, then prefix hop, then the
+        rare-case fallback requiring strict (prefix, -distance) progress —
+        which makes routing loop-free by construction.
+        """
+        if key == self.owner:
+            return None
+        covered, closest_leaf = self._leaf_span_lookup(key)
+        if covered:
+            return None if closest_leaf == self.owner else closest_leaf
+        row = self.owner.shared_prefix_len(key)
+        entry = self._rows.get(row, {}).get(key.digit(row))
+        if entry is not None:
+            return entry  # strictly longer shared prefix with the key
+        # Fallback: progress in (shared prefix, then numeric distance).
+        my_distance = key.distance(self.owner)
+        best: Optional[GUID] = None
+        best_rank = (row, -my_distance)
+        for node in self.known_nodes():
+            rank = (node.shared_prefix_len(key), -key.distance(node))
+            if rank > best_rank:
+                best = node
+                best_rank = rank
+        return best
+
+    def _leaf_span_lookup(self, key: GUID):
+        """(covered?, closest member) for keys inside the leaf span."""
+        right_max = _ring_offset(self.owner, self._right[-1]) if self._right else 0
+        left_max = _ring_offset(self._left[-1], self.owner) if self._left else 0
+        key_clockwise = _ring_offset(self.owner, key)
+        covered = (key_clockwise <= right_max
+                   or (_RING - key_clockwise) <= left_max)
+        if not covered:
+            return False, None
+        candidates = [self.owner] + self._right + self._left
+        closest = min(candidates,
+                      key=lambda node: (key.distance(node), node.value))
+        return True, closest
+
+    def known_nodes(self) -> List[GUID]:
+        nodes: Set[GUID] = set(self._right) | set(self._left)
+        for slot in self._rows.values():
+            nodes.update(slot.values())
+        return sorted(nodes)
+
+    def leaves(self) -> List[GUID]:
+        return list(self._right) + list(self._left)
+
+    def size(self) -> int:
+        return len(self.known_nodes())
+
+    def __contains__(self, node: GUID) -> bool:
+        return node in self.known_nodes()
+
+
+class OverlayNode(Process):
+    """One member of the SCINET."""
+
+    def __init__(self, guid: GUID, host_id: str, network: Network,
+                 range_name: str = "", owner_cs_hex: Optional[str] = None):
+        super().__init__(guid, host_id, network, name=f"scinet:{range_name or guid}")
+        self.range_name = range_name
+        self.owner_cs_hex = owner_cs_hex
+        self.table = RoutingTable(guid)
+        #: replicated range directory: place name -> CS GUID hex
+        self.directory: Dict[str, str] = {}
+        #: DHT storage this node is responsible for
+        self.store: Dict[str, Any] = {}
+        self._seen_broadcasts: Set[str] = set()
+        self.routed = 0          # messages this node forwarded or delivered
+        self.delivered = 0
+        #: callbacks on delivered application payloads: (kind, body, hops)
+        self.on_delivery: List[Callable[[str, Dict[str, Any], int], None]] = []
+
+    # -- public API ----------------------------------------------------------------
+
+    def route(self, key: GUID, kind: str, body: Optional[Dict[str, Any]] = None,
+              origin: Optional[GUID] = None) -> None:
+        """Route ``body`` toward the node numerically closest to ``key``."""
+        self._route_step({
+            "key": key.hex,
+            "kind": kind,
+            "body": body or {},
+            "origin": (origin or self.guid).hex,
+            "hops": 0,
+        })
+
+    def broadcast(self, kind: str, body: Dict[str, Any]) -> None:
+        """Flood an announcement over the overlay mesh (with dedup)."""
+        bcast_id = f"{self.guid.hex[:12]}:{self.network.scheduler.now}:{kind}"
+        payload = {"bcast_id": bcast_id, "kind": kind, "body": body, "hops": 0}
+        self._apply_broadcast(payload)
+        self._forward_broadcast(payload)
+
+    def dht_put(self, name: str, value: Any) -> None:
+        self.route(GUID.from_name(name), "dht-put", {"name": name, "value": value})
+
+    def dht_get(self, name: str) -> None:
+        """Route a get; the result arrives as a ``dht-result`` delivery."""
+        self.route(GUID.from_name(name), "dht-get", {"name": name})
+
+    def lookup_place(self, place: str) -> Optional[str]:
+        """Synchronous directory lookup (replicated cache)."""
+        return self.directory.get(place)
+
+    # -- routing machinery -------------------------------------------------------------
+
+    def _route_step(self, payload: Dict[str, Any]) -> None:
+        self.routed += 1
+        key = GUID.from_hex(payload["key"])
+        next_hop = self.table.next_hop(key)
+        if next_hop is None:
+            self._deliver(payload)
+            return
+        if payload["hops"] >= GUID_DIGITS * 2:
+            logger.warning("%s dropping over-hopped route to %s", self.name, key)
+            return
+        payload = dict(payload)
+        payload["hops"] += 1
+        self.send(next_hop, "o-route", payload)
+
+    def _deliver(self, payload: Dict[str, Any]) -> None:
+        self.delivered += 1
+        kind = payload["kind"]
+        body = payload["body"]
+        hops = payload["hops"]
+        origin = GUID.from_hex(payload["origin"])
+        if kind == "dht-put":
+            self.store[body["name"]] = body["value"]
+        elif kind == "dht-get":
+            self.send(origin, "o-delivery", {
+                "kind": "dht-result",
+                "body": {"name": body["name"],
+                         "value": self.store.get(body["name"]),
+                         "found": body["name"] in self.store},
+                "hops": hops,
+            })
+        for callback in self.on_delivery:
+            callback(kind, body, hops)
+
+    # -- broadcast machinery ----------------------------------------------------------------
+
+    def _apply_broadcast(self, payload: Dict[str, Any]) -> None:
+        self._seen_broadcasts.add(payload["bcast_id"])
+        kind = payload["kind"]
+        body = payload["body"]
+        if kind == "announce-range":
+            for place in body.get("places", []):
+                self.directory[place] = body["cs"]
+        elif kind == "retract-range":
+            doomed = {place for place, cs in self.directory.items()
+                      if cs == body["cs"]}
+            for place in doomed:
+                del self.directory[place]
+        for callback in self.on_delivery:
+            callback(kind, body, payload["hops"])
+
+    def _forward_broadcast(self, payload: Dict[str, Any]) -> None:
+        onward = dict(payload)
+        onward["hops"] += 1
+        for node in self.table.known_nodes():
+            self.send(node, "o-bcast", onward)
+
+    # -- messages ----------------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == "o-route":
+            self._route_step(message.payload)
+        elif message.kind == "o-bcast":
+            if message.payload["bcast_id"] in self._seen_broadcasts:
+                return
+            self._apply_broadcast(message.payload)
+            self._forward_broadcast(message.payload)
+        elif message.kind == "o-delivery":
+            for callback in self.on_delivery:
+                callback(message.payload["kind"], message.payload["body"],
+                         message.payload["hops"])
+        elif message.kind == "table-add":
+            self.table.add(GUID.from_hex(message.payload["node"]))
+        elif message.kind == "table-remove":
+            self.table.remove(GUID.from_hex(message.payload["node"]))
+        else:
+            logger.debug("%s ignoring %s", self.name, message)

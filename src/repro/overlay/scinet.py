@@ -1,0 +1,137 @@
+"""SCINET membership management and the range directory.
+
+Section 3: "The SCINET can be created via Range discovery, requiring little
+initialisation. Alternatively it may be desirable to group relevant Ranges
+together, such as those operating within an individual building or across a
+larger area in order to control access and increase performance."
+
+Membership is a management-plane concern here: :meth:`SCINet.join` seeds the
+new node's routing table from the current membership and notifies existing
+nodes of the newcomer (what a full Pastry join protocol converges to);
+:meth:`SCINet.leave`/:meth:`SCINet.fail` remove a node from all tables. The
+data plane — routing, DHT, directory replication — is entirely
+message-based through :class:`~repro.overlay.node.OverlayNode`.
+
+Range discovery: when a range joins, its node broadcasts an
+``announce-range`` carrying the places it governs; every node replicates the
+directory, giving Context Servers the synchronous ``peer_lookup`` they need
+when deciding whether to forward a query (Section 5's lobby -> Level 10
+hand-over).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, List, Optional
+
+from repro.core.errors import RoutingError
+from repro.core.ids import GUID
+from repro.net.transport import Network
+from repro.overlay.node import OverlayNode
+
+logger = logging.getLogger(__name__)
+
+
+class SCINet:
+    """Manager for one overlay (one "group" of ranges)."""
+
+    def __init__(self, network: Network, group_name: str = "scinet"):
+        self.network = network
+        self.group_name = group_name
+        self._nodes: Dict[str, OverlayNode] = {}
+
+    # -- membership -----------------------------------------------------------------
+
+    def join(self, node: OverlayNode,
+             places: Optional[List[str]] = None,
+             announce: bool = True) -> OverlayNode:
+        """Add ``node`` to the overlay and announce its range's places."""
+        if node.guid.hex in self._nodes:
+            raise RoutingError(f"node already in {self.group_name}: {node.guid}")
+        # Seed the newcomer's table with current members and tell members
+        # about the newcomer (management plane; see module docstring).
+        for member in self._nodes.values():
+            node.table.add(member.guid)
+            member.table.add(node.guid)
+            # Directory state transfer: a newcomer must know the places
+            # existing ranges announced before it joined (Section 5's
+            # forwarding works regardless of which range booted first).
+            for place, cs_hex in member.directory.items():
+                node.directory.setdefault(place, cs_hex)
+        self._nodes[node.guid.hex] = node
+        self._refresh_leaf_sets()
+        if announce and places:
+            node.broadcast("announce-range", {
+                "range": node.range_name,
+                "cs": node.owner_cs_hex or node.guid.hex,
+                "places": list(places),
+            })
+            # the broadcaster's own directory is updated in broadcast()
+        logger.info("%s: %s joined (%d nodes)", self.group_name,
+                    node.range_name or node.guid, len(self._nodes))
+        return node
+
+    def create_node(self, host_id: str, range_name: str = "",
+                    owner_cs_hex: Optional[str] = None,
+                    places: Optional[List[str]] = None) -> OverlayNode:
+        """Convenience: mint, attach and join a node in one call."""
+        guid = self.network.guids.mint()
+        self.network.ensure_host(host_id)
+        node = OverlayNode(guid, host_id, self.network, range_name,
+                           owner_cs_hex)
+        return self.join(node, places=places)
+
+    def leave(self, node_hex: str) -> None:
+        """Graceful departure: retract directory entries, update tables."""
+        node = self._nodes.pop(node_hex, None)
+        if node is None:
+            return
+        node.broadcast("retract-range", {"cs": node.owner_cs_hex or node.guid.hex})
+        for member in self._nodes.values():
+            member.table.remove(node.guid)
+        self._refresh_leaf_sets()
+        node.detach()
+
+    def fail(self, node_hex: str) -> None:
+        """Abrupt failure: the node vanishes; members repair their tables.
+
+        (In a full Pastry, repair is lazy on failed forwards; here the
+        management plane repairs eagerly, which is equivalent for the
+        routing-correctness experiments.)
+        """
+        node = self._nodes.pop(node_hex, None)
+        if node is None:
+            return
+        for member in self._nodes.values():
+            member.table.remove(node.guid)
+        self._refresh_leaf_sets()
+        node.detach()
+
+    def _refresh_leaf_sets(self) -> None:
+        members = [node.guid for node in self._nodes.values()]
+        for node in self._nodes.values():
+            node.table.set_leaves(members)
+
+    # -- introspection ----------------------------------------------------------------
+
+    def nodes(self) -> List[OverlayNode]:
+        return list(self._nodes.values())
+
+    def node(self, node_hex: str) -> Optional[OverlayNode]:
+        return self._nodes.get(node_hex)
+
+    def size(self) -> int:
+        return len(self._nodes)
+
+    def closest_node(self, key: GUID) -> OverlayNode:
+        """Ground truth for tests: who *should* a key route to?"""
+        if not self._nodes:
+            raise RoutingError(f"{self.group_name} is empty")
+        return min(self._nodes.values(),
+                   key=lambda node: (key.distance(node.guid), node.guid))
+
+    def total_routed(self) -> int:
+        return sum(node.routed for node in self._nodes.values())
+
+    def load_by_node(self) -> Dict[str, int]:
+        return {node.name: node.routed for node in self._nodes.values()}

@@ -1,0 +1,31 @@
+"""The SCI query model (Section 4.3, Figure 6).
+
+"There are five sections central to the formation of a query": What (entity
+type, named entity, or an information pattern), Where (a location constraint
+in the intermediate location language), When (the temporal conditions under
+which the configuration executes), Which (qualitative selection among
+multiple candidates) and the mode (profile request, event subscription,
+one-time subscription, advertisement request).
+
+:mod:`repro.query.model` is the object model, :mod:`repro.query.language`
+the XML wire format matching Figure 6, :mod:`repro.query.temporal` the When
+conditions and :mod:`repro.query.selection` the Which policies.
+"""
+
+from repro.query.model import Query, QueryMode, WhatClause, QueryBuilder
+from repro.query.temporal import WhenClause
+from repro.query.selection import WhichClause, Criterion, Candidate
+from repro.query.language import query_to_xml, query_from_xml
+
+__all__ = [
+    "Query",
+    "QueryMode",
+    "WhatClause",
+    "QueryBuilder",
+    "WhenClause",
+    "WhichClause",
+    "Criterion",
+    "Candidate",
+    "query_to_xml",
+    "query_from_xml",
+]

@@ -1,0 +1,57 @@
+"""The XML wire format of a query — byte-for-byte the shape of Figure 6.
+
+::
+
+    <query>
+        <query_id> </query_id>
+        <owner_id> </owner_id>
+        <what> </what>
+        <where> </where>
+        <when> </when>
+        <which> </which>
+        <mode> </mode>
+    </query>
+
+Each element body is the textual form of the corresponding clause (see the
+clause classes for their grammars). ``query_from_xml(query_to_xml(q))``
+round-trips, which is property-tested.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.core.errors import QueryParseError
+from repro.query.model import Query
+
+_FIELDS = ("query_id", "owner_id", "what", "where", "when", "which", "mode")
+
+
+def query_to_xml(query: Query) -> str:
+    """Serialise a query to the Figure-6 XML form."""
+    wire = query.to_wire()
+    root = ET.Element("query")
+    for name in _FIELDS:
+        element = ET.SubElement(root, name)
+        element.text = str(wire[name])
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def query_from_xml(text: str) -> Query:
+    """Parse the Figure-6 XML form back into a :class:`Query`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise QueryParseError(f"malformed query XML: {exc}") from None
+    if root.tag != "query":
+        raise QueryParseError(f"expected <query> root, got <{root.tag}>")
+    wire = {}
+    for name in _FIELDS:
+        element = root.find(name)
+        if element is None:
+            raise QueryParseError(f"query XML missing <{name}>")
+        wire[name] = (element.text or "").strip()
+    if not wire["owner_id"]:
+        raise QueryParseError("query XML has empty <owner_id>")
+    return Query.from_wire(wire)

@@ -1,0 +1,605 @@
+"""The Context Server — the hub of a Range (Sections 3.1, 4.3 and 5).
+
+"The Context Server (CS) is the most important component of a Range. It
+manages the other components and provides the means of communicating with
+other Ranges in the SCINET. It maintains a central store of entity
+information as well as managing the context utilities operating within its
+range. The CS provides the access point for Context Aware Applications to
+interact with the infrastructure."
+
+On construction the CS instantiates its six Context Utilities — Registrar,
+Profile Manager, Event Mediator, Location Service, the Query Resolver (via
+the Configuration Manager) and a Range Service per machine in its
+jurisdiction (Figure 5) — and wires the callbacks between them.
+
+Query lifecycle (Section 4.3 + the CAPA walk-through of Section 5):
+
+* a ``query`` message arrives from a CAA (or forwarded by a peer CS);
+* if the Where/When clauses reference places another range governs, the
+  query is **forwarded** to that range's CS (looked up through the SCINET
+  range directory);
+* time-based When clauses are **scheduled**; ``enters(entity, place)``
+  clauses are **parked** — the CS "stores it until its temporal constraints
+  are satisfied" and "listens" for the entity entering the place;
+* execution dispatches on mode: profile request, advertisement request
+  (Which-based candidate selection), or event/one-time subscription
+  (configuration build + instantiation through the Configuration Manager).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.core.errors import NoProviderError, LocationError, QueryError, SCIError
+from repro.core.ids import GUID, GuidFactory
+from repro.core.types import TypeRegistry
+from repro.composition.manager import Configuration, ConfigurationManager
+from repro.composition.resolver import QueryResolver
+from repro.composition.templates import TemplateRegistry
+from repro.entities.entity import ContextEntity
+from repro.entities.profile import EntityClass, Profile
+from repro.events.filters import TypeFilter
+from repro.events.mediator import EventMediator
+from repro.location.building import BuildingModel
+from repro.location.language import LocationExpr, parse_location
+from repro.location.service import EntityFix, LocationService
+from repro.net.message import Message
+from repro.net.transport import Network, Process
+from repro.query.model import Query, QueryMode, WhatClause
+from repro.query.selection import Candidate
+from repro.server.profile_manager import ProfileManager
+from repro.server.range import RangeDefinition
+from repro.server.range_service import RangeService
+from repro.server.registrar import RegistrationRecord, Registrar
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class ParkedQuery:
+    """A query waiting for its When condition (Section 5: configuration X)."""
+
+    query: Query
+    subscriber_hex: str
+    parked_at: float
+    origin_range: Optional[str] = None
+
+
+class ContextServer(Process):
+    """One range's central server and its bundled Context Utilities."""
+
+    def __init__(
+        self,
+        guid: GUID,
+        host_id: str,
+        network: Network,
+        definition: RangeDefinition,
+        building: BuildingModel,
+        registry: TypeRegistry,
+        guid_factory: GuidFactory,
+        templates: Optional[TemplateRegistry] = None,
+        lease_duration: float = 30.0,
+        max_repairs_per_config: Optional[int] = None,
+    ):
+        super().__init__(guid, host_id, network, name=f"cs:{definition.name}")
+        self.definition = definition
+        self.building = building
+        self.registry = registry
+        self.guids = guid_factory
+        self.templates = templates or TemplateRegistry()
+
+        # -- Context Utilities (Section 3.1's core set) -----------------------
+        self.mediator = EventMediator(self.guids.mint(), host_id, network,
+                                      definition.name)
+        self.registrar = Registrar(self.guids.mint(), host_id, network,
+                                   definition.name,
+                                   context_server=self.guid,
+                                   event_mediator=self.mediator.guid,
+                                   lease_duration=lease_duration)
+        self.profiles = ProfileManager(self.guids.mint(), host_id, network,
+                                       definition.name)
+        self.location = LocationService(self.guids.mint(), host_id, network,
+                                        building, definition.name)
+        self.range_services: Dict[str, RangeService] = {}
+        for machine in definition.hosts:
+            network.ensure_host(machine)
+            self.range_services[machine] = RangeService(
+                self.guids.mint(), machine, network,
+                definition.name, self.registrar.guid)
+
+        resolver = QueryResolver(
+            registry,
+            live_profiles=self._resolver_profiles,
+            templates=self.templates,
+            bindings_of=lambda entity_hex: self.configurations.bindings_of(entity_hex),
+        )
+        self.configurations = ConfigurationManager(
+            network=network,
+            host_id=host_id,
+            mediator=self.mediator,
+            resolver=resolver,
+            templates=self.templates,
+            guid_factory=self.guids,
+            range_addresses=(self.registrar.guid, self.guid, self.mediator.guid),
+            range_name=definition.name,
+            on_spawned=self._record_spawned,
+            on_config_dead=self._notify_config_dead,
+            max_repairs_per_config=max_repairs_per_config,
+        )
+
+        # -- wiring ------------------------------------------------------------
+        self.registrar.on_arrival = self._entity_arrived
+        self.registrar.on_departure = self._entity_departed
+        # the Location Service consumes every location and door-presence
+        # event in the range ("each range monitors internal activity")
+        self.mediator.add_subscription(self.location.guid,
+                                       TypeFilter("location"),
+                                       owner="location-service")
+        self.mediator.add_subscription(self.location.guid,
+                                       TypeFilter("presence"),
+                                       owner="location-service")
+        self.location.observers.append(self._on_location_fix)
+
+        #: place -> peer CS hex; installed by the SCINET layer
+        self.peer_lookup: Callable[[str], Optional[str]] = lambda place: None
+
+        self._parked: List[ParkedQuery] = []
+        self.queries_received = 0
+        self.queries_executed = 0
+        self.queries_forwarded = 0
+        self.queries_parked = 0
+        self.queries_failed = 0
+        self._expiry_sweeper = self.scheduler.schedule_periodic(
+            10.0, self._sweep_expired_queries)
+
+    # ------------------------------------------------------------------ wiring
+
+    def _resolver_profiles(self) -> List[Profile]:
+        """Profiles of live CEs only (CAAs do not provide context)."""
+        return [record.profile for record in self.registrar.records()
+                if record.kind in ("ce", "infrastructure")]
+
+    def _record_spawned(self, entity: ContextEntity) -> None:
+        """A manager-spawned CE joins the range's books (no lease)."""
+        record = RegistrationRecord(
+            profile=entity.profile,
+            kind="infrastructure",
+            advertisements=list(entity.advertisements),
+            host_id=entity.host_id,
+            registered_at=self.now,
+            lease_expiry=None,
+        )
+        self.registrar.register_record(record, notify=False)
+        self.profiles.add(entity.profile, entity.advertisements)
+
+    def _entity_arrived(self, record: RegistrationRecord) -> None:
+        self.profiles.add(record.profile, record.advertisements)
+        home = record.profile.attributes.get("room")
+        if home and record.profile.entity_class != EntityClass.SOFTWARE:
+            try:
+                self.location.update(record.profile.name, room=home)
+            except LocationError:
+                pass
+        logger.debug("%s: %s arrived", self.name, record.profile.name)
+
+    def _entity_departed(self, record: RegistrationRecord, reason: str) -> None:
+        entity_hex = record.entity_hex
+        self.profiles.remove(entity_hex)
+        self.location.forget(record.profile.name)
+        self.mediator.remove_subscriber(record.profile.entity_id)
+        affected = self.configurations.handle_entity_departure(entity_hex)
+        if affected:
+            logger.info("%s: departure of %s affected %d configuration(s)",
+                        self.name, record.profile.name, len(affected))
+
+    def _notify_config_dead(self, config: Configuration, reason: str) -> None:
+        for delivery in config.deliveries:
+            self.send(GUID.from_hex(delivery.subscriber_hex), "query-result", {
+                "query_id": delivery.query_id,
+                "ok": False,
+                "error": f"configuration failed and is unrepairable: {reason}",
+            })
+
+    # ---------------------------------------------------------------- messages
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == "query":
+            self._handle_query(message)
+        elif message.kind == "cancel-query":
+            self._handle_cancel(message)
+        elif message.kind == "admit-host":
+            self.admit_host(message.payload["host"])
+        else:
+            logger.debug("%s ignoring %s", self.name, message)
+
+    def _handle_query(self, message: Message) -> None:
+        self.queries_received += 1
+        try:
+            query = Query.from_wire(message.payload["query"])
+        except (QueryError, KeyError) as exc:
+            self.reply(message, "query-ack",
+                       {"ok": False, "query_id": "", "error": str(exc)})
+            return
+        subscriber_hex = message.payload.get("subscriber", message.sender.hex)
+        status, error = self.accept_query(query, subscriber_hex)
+        self.reply(message, "query-ack", {
+            "ok": error is None,
+            "query_id": query.query_id,
+            "status": status,
+            **({"error": error} if error else {}),
+        })
+
+    def _handle_cancel(self, message: Message) -> None:
+        query_id = message.payload.get("query_id", "")
+        self._parked = [parked for parked in self._parked
+                        if parked.query.query_id != query_id]
+        self.configurations.cancel_query(query_id)
+
+    # ----------------------------------------------------------- query routing
+
+    def accept_query(self, query: Query, subscriber_hex: str):
+        """Route one query: forward, park, schedule or execute.
+
+        Returns ``(status, error)`` with error None on success.
+        """
+        if query.when.expired(self.now):
+            self.queries_failed += 1
+            return "expired", "query expired before execution"
+
+        foreign_place = self._foreign_place(query)
+        if foreign_place is not None:
+            peer_hex = self.peer_lookup(foreign_place)
+            if peer_hex is not None and peer_hex != self.guid.hex:
+                self.send(GUID.from_hex(peer_hex), "query", {
+                    "query": query.to_wire(),
+                    "subscriber": subscriber_hex,
+                })
+                self.queries_forwarded += 1
+                logger.info("%s forwarded %s (place %s)", self.name,
+                            query.query_id, foreign_place)
+                return "forwarded", None
+            # No peer governs it; fall through and try locally.
+
+        if query.when.kind == "enters":
+            self._parked.append(ParkedQuery(query, subscriber_hex, self.now))
+            self.queries_parked += 1
+            logger.info("%s parked %s until %s", self.name,
+                        query.query_id, query.when)
+            return "parked", None
+
+        trigger = query.when.trigger_time(self.now)
+        if trigger is not None and trigger > self.now:
+            self.scheduler.schedule_at(trigger, self._execute_later,
+                                       query, subscriber_hex)
+            return "scheduled", None
+
+        error = self.execute_query(query, subscriber_hex)
+        return ("executed" if error is None else "failed"), error
+
+    def _execute_later(self, query: Query, subscriber_hex: str) -> None:
+        if query.when.expired(self.now):
+            self.queries_failed += 1
+            return
+        self.execute_query(query, subscriber_hex)
+
+    def _foreign_place(self, query: Query) -> Optional[str]:
+        """A concrete place this query hinges on that we do not govern."""
+        places: List[str] = []
+        if query.when.kind == "enters" and query.when.place:
+            places.append(query.when.place)
+        places.extend(_places_in(query.where))
+        for place in places:
+            if (self.building.hierarchy.known(place)
+                    and not self.definition.governs_place(self.building, place)):
+                return place
+        return None
+
+    def _on_location_fix(self, fix: EntityFix, previous_room: Optional[str]) -> None:
+        """Check parked queries whenever an entity enters a new room."""
+        if fix.room == previous_room:
+            return
+        triggered = [parked for parked in self._parked
+                     if parked.query.when.matches_entry(fix.entity_key, fix.room)]
+        if not triggered:
+            return
+        self._parked = [parked for parked in self._parked
+                        if parked not in triggered]
+        for parked in triggered:
+            logger.info("%s: parked query %s triggered by %s entering %s",
+                        self.name, parked.query.query_id,
+                        fix.entity_key, fix.room)
+            self.execute_query(parked.query, parked.subscriber_hex)
+
+    def _sweep_expired_queries(self) -> None:
+        now = self.now
+        expired = [parked for parked in self._parked
+                   if parked.query.when.expired(now)]
+        if not expired:
+            return
+        self._parked = [parked for parked in self._parked
+                        if parked not in expired]
+        for parked in expired:
+            self.queries_failed += 1
+            self.send(GUID.from_hex(parked.subscriber_hex), "query-result", {
+                "query_id": parked.query.query_id,
+                "ok": False,
+                "error": "query expired while parked",
+            })
+
+    # --------------------------------------------------------------- execution
+
+    def execute_query(self, query: Query, subscriber_hex: str) -> Optional[str]:
+        """Execute one query now; returns an error string or None."""
+        try:
+            if query.mode == QueryMode.PROFILE:
+                self._execute_profile(query, subscriber_hex)
+            elif query.mode == QueryMode.ADVERTISEMENT:
+                self._execute_advertisement(query, subscriber_hex)
+            else:
+                self._execute_subscription(query, subscriber_hex)
+        except NoProviderError as exc:
+            self.queries_failed += 1
+            self._send_failure(query, subscriber_hex, str(exc))
+            return str(exc)
+        except SCIError as exc:
+            self.queries_failed += 1
+            self._send_failure(query, subscriber_hex, str(exc))
+            return str(exc)
+        self.queries_executed += 1
+        return None
+
+    def _send_failure(self, query: Query, subscriber_hex: str, error: str) -> None:
+        self.send(GUID.from_hex(subscriber_hex), "query-result", {
+            "query_id": query.query_id, "ok": False, "error": error,
+        })
+
+    # -- profile mode -------------------------------------------------------------
+
+    def _execute_profile(self, query: Query, subscriber_hex: str) -> None:
+        matches = self._matching_records(query)
+        self.send(GUID.from_hex(subscriber_hex), "query-result", {
+            "query_id": query.query_id,
+            "ok": True,
+            "mode": "profile",
+            "profiles": [record.profile.to_wire() for record in matches],
+        })
+
+    def _matching_records(self, query: Query) -> List[RegistrationRecord]:
+        where_rooms = self._where_rooms(query)
+        matches = []
+        for record in self.registrar.records():
+            if not _what_matches(query.what, record):
+                continue
+            if where_rooms is not None:
+                room = self._room_of(record)
+                if room is not None and room not in where_rooms:
+                    continue
+            matches.append(record)
+        matches.sort(key=lambda record: record.profile.name)
+        return matches
+
+    def _where_rooms(self, query: Query) -> Optional[Set[str]]:
+        if query.where.is_constraint_free:
+            return None
+        return set(self.location.resolve_rooms(query.where, query.owner_id))
+
+    def _room_of(self, record: RegistrationRecord) -> Optional[str]:
+        room = record.profile.attributes.get("room")
+        if room is not None:
+            return room
+        fix = self.location.locate(record.profile.name)
+        return fix.room if fix else None
+
+    # -- advertisement mode -----------------------------------------------------------
+
+    def _execute_advertisement(self, query: Query, subscriber_hex: str) -> None:
+        candidates = self._build_candidates(query)
+        chosen = query.which.select(candidates)
+        result: Dict[str, Any] = {
+            "query_id": query.query_id,
+            "ok": chosen is not None,
+            "mode": "advertisement",
+            # the full candidate view (including filtered-out entities, with
+            # the reasons visible in their fields) — CAPA's UI can explain
+            # "P3 behind a locked door" only if it sees P3
+            "candidates": [_candidate_to_wire(candidate)
+                           for candidate in candidates],
+        }
+        if chosen is None:
+            result["error"] = "no candidate satisfies the Which clause"
+            self.queries_failed += 1
+        else:
+            result["selected"] = _candidate_to_wire(chosen)
+        self.send(GUID.from_hex(subscriber_hex), "query-result", result)
+
+    def _build_candidates(self, query: Query) -> List[Candidate]:
+        where_rooms = self._where_rooms(query)
+        reference_room = self._reference_room(query)
+        candidates = []
+        for record in self.registrar.records():
+            if not record.advertisements:
+                continue
+            if not _what_matches(query.what, record):
+                continue
+            room = self._room_of(record)
+            if where_rooms is not None and room is not None and room not in where_rooms:
+                continue
+            available, queue_length = self._availability_of(record)
+            distance, reachable = self._distance_to(reference_room, room,
+                                                    query.owner_id)
+            candidates.append(Candidate(
+                entity_id=record.entity_hex,
+                name=record.profile.name,
+                room=room,
+                distance=distance,
+                reachable=reachable,
+                available=available,
+                queue_length=queue_length,
+                quality=dict(record.profile.quality),
+                payload={"advertisements": [ad.to_wire()
+                                            for ad in record.advertisements]},
+            ))
+        candidates.sort(key=lambda candidate: candidate.name)
+        return candidates
+
+    def _reference_room(self, query: Query) -> Optional[str]:
+        expr_text = query.which.location_argument
+        if expr_text is None:
+            return None
+        try:
+            expr = parse_location(expr_text)
+            point = self.location.resolve_point(expr, query.owner_id)
+            return self.building.nearest_room(point)
+        except LocationError as exc:
+            logger.warning("%s cannot resolve Which reference %r: %s",
+                           self.name, expr_text, exc)
+            return None
+
+    def _availability_of(self, record: RegistrationRecord):
+        """Live availability from the entity's retained status event."""
+        event = self.mediator.retained_event("printer-status", "record",
+                                             record.profile.name)
+        if event is not None and isinstance(event.value, dict):
+            state = event.value.get("state", "idle")
+            queue_length = int(event.value.get("queue_length", 0))
+            return state == "idle", queue_length
+        return bool(record.profile.attributes.get("available", True)), 0
+
+    def _distance_to(self, reference_room: Optional[str], room: Optional[str],
+                     owner_id: str):
+        """(walking distance, reachable) honouring the owner's door access."""
+        if room is None:
+            return float("inf"), True
+        if reference_room is None:
+            # No distance reference; reachability is all we can judge, from
+            # any governed room (conservatively: from the first).
+            return float("inf"), True
+        distance = self.building.walking_distance(reference_room, room,
+                                                  entity_key=owner_id)
+        return distance, distance != float("inf")
+
+    # -- subscription modes ----------------------------------------------------------------
+
+    def _execute_subscription(self, query: Query, subscriber_hex: str) -> None:
+        if query.what.kind != "pattern":
+            raise QueryError(
+                f"{query.mode.value} queries need a pattern What clause, "
+                f"got {query.what}")
+        wanted = query.what.pattern
+        predicate = self._where_predicate(query)
+        config = self.configurations.deliver(
+            wanted,
+            subscriber_hex=subscriber_hex,
+            query_id=query.query_id,
+            one_time=(query.mode == QueryMode.ONE_TIME),
+            provider_predicate=predicate,
+        )
+        logger.info("%s: %s -> %s (depth %d, %d nodes)", self.name,
+                    query.query_id, config.config_id,
+                    config.plan.depth(), config.plan.node_count())
+
+    def _where_predicate(self, query: Query):
+        """Provider restrictions from Where plus any QoC contracts.
+
+        A subscription's ``quality(attr<=x)`` criteria (future-work item 2)
+        constrain which *providers* may enter the configuration: a contract
+        on accuracy keeps the coarse W-LAN source out of a chain that
+        promises 2-metre fixes. Contracts are checked against each
+        provider's declared output quality.
+        """
+        where_rooms = self._where_rooms(query)
+        contracts = query.which.quality_contracts()
+        if where_rooms is None and not contracts:
+            return None
+
+        def predicate(profile: Profile) -> bool:
+            if where_rooms is not None:
+                room = profile.attributes.get("room")
+                if room is not None and room not in where_rooms:
+                    return False
+            if contracts:
+                # only data-producing profiles carry output quality;
+                # processing templates (no declared quality) pass through
+                # and the contract binds at the sensor level beneath them
+                quality = dict(profile.quality)
+                for output in profile.outputs:
+                    quality.update(output.quality_map)
+                if quality and not all(contract.quality_satisfied(quality)
+                                       for contract in contracts):
+                    return False
+            return True
+
+        return predicate
+
+    # ------------------------------------------------------------------- misc
+
+    def admit_host(self, host_id: str) -> int:
+        """A mobile machine entered the range: offer registration to its
+        components (Section 5: 'The network base station in the lift lobby
+        detects Bob's PDA which is then registered with the infrastructure')."""
+        service = self.range_services.get(host_id)
+        if service is None:
+            self.network.ensure_host(host_id)
+            service = RangeService(self.guids.mint(), host_id, self.network,
+                                   self.definition.name, self.registrar.guid)
+            self.range_services[host_id] = service
+        return service.offer_to_host()
+
+    def expel_entity(self, entity_hex: str, reason: str = "left-range") -> bool:
+        """Deregister an entity that physically left the range."""
+        return self.registrar.remove(entity_hex, reason)
+
+    def parked_queries(self) -> List[ParkedQuery]:
+        return list(self._parked)
+
+    def shutdown(self) -> None:
+        self._expiry_sweeper.cancel()
+        self.registrar.shutdown()
+        for process in (self.mediator, self.profiles, self.location,
+                        *self.range_services.values()):
+            process.detach()
+        self.detach()
+
+
+# ---------------------------------------------------------------------- helpers
+
+def _what_matches(what: WhatClause, record: RegistrationRecord) -> bool:
+    profile = record.profile
+    if what.kind == "named":
+        return what.value in (profile.name, profile.entity_id.hex)
+    if what.kind == "entity-type":
+        if profile.attributes.get("device") == what.value:
+            return True
+        if profile.entity_class.value == what.value:
+            return True
+        return any(ad.service_name == what.value
+                   or ad.service_name == f"{what.value}-service"
+                   for ad in record.advertisements)
+    # pattern: does the profile output something of the wanted type name?
+    return profile.provides_type(what.pattern.type_name)
+
+
+def _places_in(expr: LocationExpr) -> List[str]:
+    """Concrete place names referenced by a Where expression."""
+    places = []
+    cursor: Optional[LocationExpr] = expr
+    while cursor is not None:
+        if cursor.kind == "room" and cursor.name:
+            places.append(cursor.name)
+        cursor = cursor.inner
+    return places
+
+
+def _candidate_to_wire(candidate: Candidate) -> Dict[str, Any]:
+    return {
+        "entity": candidate.entity_id,
+        "name": candidate.name,
+        "room": candidate.room,
+        "distance": candidate.distance,
+        "reachable": candidate.reachable,
+        "available": candidate.available,
+        "queue_length": candidate.queue_length,
+        "advertisements": candidate.payload.get("advertisements", []),
+    }

@@ -1,0 +1,116 @@
+"""The Profile Manager Context Utility.
+
+Section 3.1: "Profile Manager: Provides access and update abilities to
+Context Entities Profiles." and "While active within a Range, the Range's
+Context Server manages both the CE's Profile and Advertisements."
+
+It is the store the Query Resolver's type matching and the Which clause's
+candidate building read from. Remote Context Servers can read it with
+``profile-request`` messages (used during handoff and for the PROFILE query
+mode across ranges).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.ids import GUID
+from repro.entities.advertisement import Advertisement
+from repro.entities.profile import Profile
+from repro.net.message import Message
+from repro.net.transport import Network, Process
+
+logger = logging.getLogger(__name__)
+
+
+class ProfileManager(Process):
+    """Profile and Advertisement storage for one range."""
+
+    def __init__(self, guid: GUID, host_id: str, network: Network,
+                 range_name: str = ""):
+        super().__init__(guid, host_id, network,
+                         name=f"profiles:{range_name or guid}")
+        self._profiles: Dict[str, Profile] = {}
+        self._advertisements: Dict[str, List[Advertisement]] = {}
+        self.updates = 0
+
+    # -- direct API ------------------------------------------------------------
+
+    def add(self, profile: Profile,
+            advertisements: Optional[List[Advertisement]] = None) -> None:
+        self._profiles[profile.entity_id.hex] = profile
+        self._advertisements[profile.entity_id.hex] = list(advertisements or [])
+        self.updates += 1
+
+    def remove(self, entity_hex: str) -> bool:
+        self._advertisements.pop(entity_hex, None)
+        return self._profiles.pop(entity_hex, None) is not None
+
+    def get(self, entity_hex: str) -> Optional[Profile]:
+        return self._profiles.get(entity_hex)
+
+    def by_name(self, name: str) -> Optional[Profile]:
+        for profile in self._profiles.values():
+            if profile.name == name:
+                return profile
+        return None
+
+    def advertisements_of(self, entity_hex: str) -> List[Advertisement]:
+        return list(self._advertisements.get(entity_hex, []))
+
+    def all_profiles(self) -> List[Profile]:
+        return list(self._profiles.values())
+
+    def find(self, predicate: Callable[[Profile], bool]) -> List[Profile]:
+        return [profile for profile in self._profiles.values()
+                if predicate(profile)]
+
+    def with_advertisements(self) -> List[Tuple[Profile, List[Advertisement]]]:
+        return [
+            (profile, self._advertisements.get(entity_hex, []))
+            for entity_hex, profile in self._profiles.items()
+            if self._advertisements.get(entity_hex)
+        ]
+
+    def update_attributes(self, entity_hex: str, attributes: Dict) -> bool:
+        profile = self._profiles.get(entity_hex)
+        if profile is None:
+            return False
+        profile.attributes.update(attributes)
+        self.updates += 1
+        return True
+
+    def population(self) -> int:
+        return len(self._profiles)
+
+    # -- message protocol ----------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == "profile-request":
+            self._handle_profile_request(message)
+        elif message.kind == "profile-update":
+            entity_hex = message.payload.get("entity", "")
+            ok = self.update_attributes(entity_hex,
+                                        message.payload.get("attributes", {}))
+            self.reply(message, "profile-update-ack", {"ok": ok})
+        else:
+            logger.debug("%s ignoring %s", self.name, message)
+
+    def _handle_profile_request(self, message: Message) -> None:
+        entity_hex = message.payload.get("entity")
+        name = message.payload.get("name")
+        profile = None
+        if entity_hex:
+            profile = self.get(entity_hex)
+        elif name:
+            profile = self.by_name(name)
+        if profile is None:
+            self.reply(message, "profile-response", {"found": False})
+            return
+        self.reply(message, "profile-response", {
+            "found": True,
+            "profile": profile.to_wire(),
+            "advertisements": [ad.to_wire() for ad in
+                               self.advertisements_of(profile.entity_id.hex)],
+        })

@@ -1,0 +1,173 @@
+"""The Registrar Context Utility.
+
+Section 3.1: "Registrar: Maintains an accurate view of all entities within
+the current Range." and "All CE's are registered within a range when they
+arrive and deregistered upon departure."
+
+Accuracy under failure is achieved with leases: a registration is kept alive
+by heartbeats (:class:`~repro.entities.entity.BaseComponent` sends them at a
+third of the lease); a missed lease means the entity crashed or left without
+deregistering, and the Registrar evicts it — which is what ultimately
+triggers configuration repair.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.ids import GUID
+from repro.entities.advertisement import Advertisement
+from repro.entities.profile import Profile
+from repro.net.message import Message
+from repro.net.transport import Network, Process
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class RegistrationRecord:
+    """One registered component."""
+
+    profile: Profile
+    kind: str                      # "ce" | "caa" | "infrastructure"
+    advertisements: List[Advertisement] = field(default_factory=list)
+    host_id: str = ""
+    registered_at: float = 0.0
+    lease_expiry: Optional[float] = None   # None = infrastructure, no lease
+
+    @property
+    def entity_hex(self) -> str:
+        return self.profile.entity_id.hex
+
+
+class Registrar(Process):
+    """Lease-based membership for one range."""
+
+    def __init__(self, guid: GUID, host_id: str, network: Network,
+                 range_name: str,
+                 context_server: GUID, event_mediator: GUID,
+                 lease_duration: float = 30.0,
+                 sweep_interval: float = 5.0):
+        super().__init__(guid, host_id, network, name=f"registrar:{range_name}")
+        if lease_duration <= 0 or sweep_interval <= 0:
+            raise ValueError("lease and sweep intervals must be positive")
+        self.range_name = range_name
+        self.context_server = context_server
+        self.event_mediator = event_mediator
+        self.lease_duration = lease_duration
+        self._records: Dict[str, RegistrationRecord] = {}
+        #: hooks the Context Server installs
+        self.on_arrival: Callable[[RegistrationRecord], None] = lambda record: None
+        self.on_departure: Callable[[RegistrationRecord, str], None] = (
+            lambda record, reason: None)
+        self.registrations = 0
+        self.evictions = 0
+        self._sweeper = self.scheduler.schedule_periodic(sweep_interval,
+                                                         self._sweep_leases)
+
+    # -- direct API -----------------------------------------------------------------
+
+    def record(self, entity_hex: str) -> Optional[RegistrationRecord]:
+        return self._records.get(entity_hex)
+
+    def records(self) -> List[RegistrationRecord]:
+        return list(self._records.values())
+
+    def registered(self, entity_hex: str) -> bool:
+        return entity_hex in self._records
+
+    def population(self) -> int:
+        return len(self._records)
+
+    def register_record(self, record: RegistrationRecord,
+                        notify: bool = True) -> RegistrationRecord:
+        """Insert a record directly (infrastructure-spawned CEs, handoffs)."""
+        self._records[record.entity_hex] = record
+        self.registrations += 1
+        if notify:
+            self.on_arrival(record)
+        return record
+
+    def remove(self, entity_hex: str, reason: str, notify_entity: bool = True) -> bool:
+        record = self._records.pop(entity_hex, None)
+        if record is None:
+            return False
+        if notify_entity:
+            self.send(record.profile.entity_id, "deregistered", {"reason": reason})
+        self.on_departure(record, reason)
+        return True
+
+    def shutdown(self) -> None:
+        self._sweeper.cancel()
+        self.detach()
+
+    # -- message protocol --------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == "register":
+            self._handle_register(message)
+        elif message.kind == "deregister":
+            self._handle_deregister(message)
+        elif message.kind == "heartbeat":
+            self._handle_heartbeat(message)
+        else:
+            logger.debug("%s ignoring %s", self.name, message)
+
+    def _handle_register(self, message: Message) -> None:
+        try:
+            profile = Profile.from_wire(message.payload["profile"])
+            advertisements = [Advertisement.from_wire(item)
+                              for item in message.payload.get("advertisements", [])]
+        except (KeyError, ValueError) as exc:
+            self.reply(message, "register-ack", {"ok": False, "error": str(exc)})
+            return
+        sender = self.network.process(message.sender)
+        record = RegistrationRecord(
+            profile=profile,
+            kind=message.payload.get("kind", "ce"),
+            advertisements=advertisements,
+            host_id=sender.host_id if sender else "",
+            registered_at=self.now,
+            lease_expiry=self.now + self.lease_duration,
+        )
+        fresh = record.entity_hex not in self._records
+        self._records[record.entity_hex] = record
+        self.registrations += 1
+        self.reply(message, "register-ack", {
+            "ok": True,
+            "range": self.range_name,
+            "context_server": self.context_server.hex,
+            "event_mediator": self.event_mediator.hex,
+            "lease": self.lease_duration,
+        })
+        if fresh:
+            self.on_arrival(record)
+
+    def _handle_deregister(self, message: Message) -> None:
+        entity_hex = message.payload.get("entity", message.sender.hex)
+        removed = self.remove(entity_hex, "deregistered", notify_entity=False)
+        self.reply(message, "deregister-ack", {"ok": removed})
+
+    def _handle_heartbeat(self, message: Message) -> None:
+        entity_hex = message.payload.get("entity", message.sender.hex)
+        record = self._records.get(entity_hex)
+        if record is None:
+            # Entity thinks it is registered but was evicted; tell it so.
+            self.send(message.sender, "deregistered", {"reason": "not-registered"})
+            return
+        if record.lease_expiry is not None:
+            record.lease_expiry = self.now + self.lease_duration
+
+    # -- lease sweeping -----------------------------------------------------------------
+
+    def _sweep_leases(self) -> None:
+        now = self.now
+        expired = [record for record in self._records.values()
+                   if record.lease_expiry is not None and record.lease_expiry < now]
+        for record in expired:
+            self.evictions += 1
+            logger.info("%s evicting %s (lease expired)", self.name,
+                        record.profile.name)
+            self.remove(record.entity_hex, "lease-expired")

@@ -1,0 +1,115 @@
+"""The four composition models, side by side — the C3 claim in miniature.
+
+Workload: an application needs ``location[topological]``. The environment
+starts with a door-sensor network (topological) and a wireless positioning
+system (geometric). The door network then fails. The paper's expectations:
+
+* Context Toolkit: fixed wiring -> fails, never recovers;
+* Solar: explicit graph -> fails, recovers only with developer rewiring;
+* iQueue: rebinds syntactically -> fails (only a geometric source remains);
+* SCI: semantic match + converter insertion -> recovers automatically.
+"""
+
+import pytest
+
+from repro.core.types import TypeSpec, standard_registry
+from repro.baselines.common import Environment
+from repro.baselines.contexttoolkit import Aggregator, ToolkitApp, Widget
+from repro.baselines.iqueue import DataSpec, IQueuePlatform
+from repro.baselines.sciadapter import SCIComposition
+from repro.baselines.solar import OperatorSpec, SolarApp, SolarPlatform
+
+
+@pytest.fixture
+def env():
+    environment = Environment()
+    environment.create("door-net", "location", "topological")
+    environment.create("wifi-net", "location", "geometric")
+    return environment
+
+
+@pytest.fixture
+def registry():
+    reg = standard_registry()
+    reg.add_converter("location", "geometric", "topological",
+                      lambda value: "somewhere", fidelity=0.8)
+    return reg
+
+
+def build_all_four(env, registry):
+    toolkit = ToolkitApp("tk")
+    toolkit.use(Aggregator("bob", [Widget(env.source("door-net"))]))
+
+    solar_platform = SolarPlatform(env)
+    solar = SolarApp("solar", solar_platform)
+    solar.subscribe_graph(OperatorSpec.op("loc",
+                                          OperatorSpec.source("door-net")))
+
+    iqueue = IQueuePlatform(env)
+    iqueue.create_composer([DataSpec("location", "topological")])
+
+    sci = SCIComposition(env, registry)
+    sci.demand(TypeSpec("location", "topological"))
+    return toolkit, solar, iqueue, sci
+
+
+class TestBeforeChange:
+    def test_all_four_satisfied_initially(self, env, registry):
+        toolkit, solar, iqueue, sci = build_all_four(env, registry)
+        assert toolkit.satisfied()
+        assert solar.satisfied()
+        assert iqueue.satisfied()
+        assert sci.satisfied()
+
+    def test_sci_prefers_native_representation(self, env, registry):
+        sci = SCIComposition(env, registry)
+        source = sci.demand(TypeSpec("location", "topological"))
+        assert source.name == "door-net"
+
+
+class TestAfterChange:
+    def test_only_sci_survives_cross_representation_failure(self, env, registry):
+        toolkit, solar, iqueue, sci = build_all_four(env, registry)
+        env.kill("door-net")
+        iqueue.environment_changed()
+        sci.environment_changed()
+        assert not toolkit.satisfied()
+        assert not solar.satisfied()
+        assert not iqueue.satisfied()
+        assert sci.satisfied()
+
+    def test_sci_rebound_to_wireless(self, env, registry):
+        _, _, _, sci = build_all_four(env, registry)
+        env.kill("door-net")
+        sci.environment_changed()
+        wanted = TypeSpec("location", "topological")
+        assert sci.bindings[wanted].name == "wifi-net"
+        assert sci.recompositions == 1
+
+    def test_iqueue_survives_same_representation_failure(self, env, registry):
+        """Fairness check: iQueue DOES recover when a syntactic match
+        exists — its rebinding is real, just representation-blind."""
+        env.create("door-net-2", "location", "topological")
+        _, _, iqueue, _ = build_all_four(env, registry)
+        env.kill("door-net")
+        iqueue.environment_changed()
+        assert iqueue.satisfied()
+
+    def test_sci_without_converters_behaves_like_iqueue(self, env):
+        """Ablation: semantic matching minus converters = syntactic wall."""
+        bare = standard_registry()  # no geometric->topological converter
+        sci = SCIComposition(env, bare)
+        sci.demand(TypeSpec("location", "topological"))
+        env.kill("door-net")
+        sci.environment_changed()
+        assert not sci.satisfied()
+
+    def test_sci_recovers_after_revival(self, env, registry):
+        _, _, _, sci = build_all_four(env, registry)
+        env.kill("door-net")
+        env.kill("wifi-net")
+        sci.environment_changed()
+        assert not sci.satisfied()
+        env.revive("door-net")
+        sci.environment_changed()
+        assert sci.satisfied()

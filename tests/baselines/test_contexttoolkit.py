@@ -1,0 +1,76 @@
+"""Context Toolkit baseline: fixed wiring, no recovery."""
+
+import pytest
+
+from repro.baselines.common import Environment
+from repro.baselines.contexttoolkit import Aggregator, Interpreter, ToolkitApp, Widget
+
+
+@pytest.fixture
+def env():
+    environment = Environment()
+    environment.create("door-net", "location", "topological")
+    environment.create("wifi-net", "location", "geometric")
+    return environment
+
+
+class TestWidgets:
+    def test_widget_relays_values(self, env):
+        widget = Widget(env.source("door-net"))
+        env.source("door-net").push("L10.01")
+        assert widget.last_value == "L10.01"
+        assert widget.updates == 1
+
+    def test_dead_source_stops_widget(self, env):
+        widget = Widget(env.source("door-net"))
+        env.kill("door-net")
+        env.source("door-net").push("L10.02")
+        assert widget.last_value is None
+        assert not widget.operational
+
+
+class TestAggregators:
+    def test_aggregates_widget_output(self, env):
+        aggregator = Aggregator("bob", [Widget(env.source("door-net"))])
+        env.source("door-net").push("L10.01")
+        assert aggregator.last_value == "L10.01"
+
+    def test_interpreter_applied(self, env):
+        interpreter = Interpreter(str.upper, "upper")
+        aggregator = Aggregator("bob", [Widget(env.source("door-net"))],
+                                interpreter)
+        env.source("door-net").push("l10.01")
+        assert aggregator.last_value == "L10.01"
+        assert interpreter.interpretations == 1
+
+    def test_operational_if_any_widget_lives(self, env):
+        aggregator = Aggregator("bob", [Widget(env.source("door-net")),
+                                        Widget(env.source("wifi-net"))])
+        env.kill("door-net")
+        assert aggregator.operational
+        env.kill("wifi-net")
+        assert not aggregator.operational
+
+
+class TestStaticComposition:
+    """The paper's critique: components 'become fixed'."""
+
+    def test_app_fails_on_environment_change(self, env):
+        app = ToolkitApp("printer-app")
+        app.use(Aggregator("bob", [Widget(env.source("door-net"))]))
+        assert app.satisfied()
+        env.kill("door-net")
+        assert not app.satisfied()
+
+    def test_semantically_equivalent_source_not_adopted(self, env):
+        """wifi-net provides location too — the Toolkit cannot use it."""
+        app = ToolkitApp("printer-app")
+        aggregator = Aggregator("bob", [Widget(env.source("door-net"))])
+        app.use(aggregator)
+        env.kill("door-net")
+        env.source("wifi-net").push((1.0, 2.0))
+        assert aggregator.last_value is None  # nothing rebinds, ever
+        assert not app.satisfied()
+
+    def test_app_without_aggregators_unsatisfied(self):
+        assert not ToolkitApp("empty").satisfied()

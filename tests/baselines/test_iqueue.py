@@ -1,0 +1,102 @@
+"""iQueue baseline: data specs, continual rebinding, syntactic limits."""
+
+import pytest
+
+from repro.baselines.common import Environment
+from repro.baselines.iqueue import Composer, DataSpec, IQueuePlatform
+
+
+@pytest.fixture
+def env():
+    environment = Environment()
+    environment.create("door-a", "location", "topological")
+    environment.create("door-b", "location", "topological")
+    environment.create("wifi", "location", "geometric")
+    return environment
+
+
+@pytest.fixture
+def platform(env):
+    return IQueuePlatform(env)
+
+
+class TestBinding:
+    def test_binds_first_matching_source(self, env, platform):
+        composer = platform.create_composer([DataSpec("location", "topological")])
+        assert composer.bound[0].name == "door-a"
+        assert composer.fully_bound()
+
+    def test_unmatchable_spec_unbound(self, env, platform):
+        composer = platform.create_composer([DataSpec("humidity", "percent")])
+        assert composer.bound[0] is None
+        assert not composer.fully_bound()
+
+    def test_values_flow_from_bound_source(self, env, platform):
+        received = []
+        composer = platform.create_composer([DataSpec("location", "topological")])
+        composer.subscribe(received.append)
+        env.source("door-a").push("L10.01")
+        assert received == ["L10.01"]
+        assert composer.values_produced == 1
+
+    def test_combiner_function(self, env, platform):
+        received = []
+        composer = platform.create_composer(
+            [DataSpec("location", "topological"),
+             DataSpec("location", "geometric")],
+            fn=lambda values: tuple(values))
+        composer.subscribe(received.append)
+        env.source("door-a").push("L10.01")
+        assert received == []  # second slot has no value yet
+        env.source("wifi").push((1.0, 2.0))
+        assert received == [("L10.01", (1.0, 2.0))]
+
+
+class TestRebinding:
+    """'continual rebinding of data specifications to the most appropriate
+    data sources'."""
+
+    def test_rebinds_to_syntactic_equivalent(self, env, platform):
+        composer = platform.create_composer([DataSpec("location", "topological")])
+        env.kill("door-a")
+        platform.environment_changed()
+        assert composer.bound[0].name == "door-b"
+        assert composer.rebinds == 1
+        assert platform.satisfied()
+
+    def test_rebound_source_delivers(self, env, platform):
+        received = []
+        composer = platform.create_composer([DataSpec("location", "topological")])
+        composer.subscribe(received.append)
+        env.kill("door-a")
+        platform.environment_changed()
+        env.source("door-b").push("L10.02")
+        assert received == ["L10.02"]
+
+    def test_syntactic_wall(self, env, platform):
+        """The paper's critique: door-sensor location cannot be replaced by
+        wireless location, even though both are semantically location."""
+        composer = platform.create_composer([DataSpec("location", "topological")])
+        env.kill("door-a")
+        env.kill("door-b")
+        platform.environment_changed()
+        assert composer.bound[0] is None     # wifi is geometric: invisible
+        assert not platform.satisfied()
+        assert env.source("wifi").alive      # a perfectly good source, unused
+
+    def test_revival_rebinds(self, env, platform):
+        composer = platform.create_composer([DataSpec("location", "topological")])
+        env.kill("door-a")
+        env.kill("door-b")
+        platform.environment_changed()
+        assert not composer.fully_bound()
+        env.revive("door-a")
+        platform.environment_changed()
+        assert composer.fully_bound()
+
+    def test_subject_narrowing(self, env, platform):
+        env.create("badge-bob", "location", "topological", subject="bob")
+        composer = platform.create_composer(
+            [DataSpec("location", "topological", subject="john")])
+        # badge-bob is for bob only; door sensors are subject-free: usable
+        assert composer.bound[0].name in ("door-a", "door-b")

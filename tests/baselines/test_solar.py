@@ -1,0 +1,101 @@
+"""Solar baseline: explicit graphs, subgraph reuse, no auto-recovery."""
+
+import pytest
+
+from repro.baselines.common import Environment
+from repro.baselines.solar import OperatorSpec, SolarApp, SolarPlatform
+
+
+@pytest.fixture
+def env():
+    environment = Environment()
+    environment.create("door-1", "presence", "tag-read")
+    environment.create("door-2", "presence", "tag-read")
+    environment.create("wifi", "location", "geometric")
+    return environment
+
+
+@pytest.fixture
+def platform(env):
+    return SolarPlatform(env, operator_functions={
+        "merge": lambda values: values,
+        "loc": lambda values: values[-1],
+    })
+
+
+class TestGraphs:
+    def test_explicit_graph_delivers(self, env, platform):
+        app = SolarApp("a", platform)
+        app.subscribe_graph(OperatorSpec.op("loc", OperatorSpec.source("door-1")))
+        env.source("door-1").push({"to": "L10.01"})
+        assert app.received == [{"to": "L10.01"}]
+
+    def test_multi_input_operator(self, env, platform):
+        app = SolarApp("a", platform)
+        app.subscribe_graph(OperatorSpec.op(
+            "merge",
+            OperatorSpec.source("door-1"),
+            OperatorSpec.source("door-2")))
+        env.source("door-1").push("a")
+        env.source("door-2").push("b")
+        assert app.received[-1] == ["a", "b"]
+
+    def test_unknown_source_rejected(self, env, platform):
+        app = SolarApp("a", platform)
+        with pytest.raises(Exception):
+            app.subscribe_graph(OperatorSpec.source("ghost"))
+
+
+class TestReuse:
+    """'The infrastructure will try to find the common parts ... and reuse
+    them, thus improving scalability.'"""
+
+    def test_identical_graphs_share_operators(self, env, platform):
+        spec = OperatorSpec.op("loc", OperatorSpec.source("door-1"))
+        SolarApp("a", platform).subscribe_graph(spec)
+        SolarApp("b", platform).subscribe_graph(spec)
+        # first deploy requests root+leaf (2); second requests the root and
+        # finds the whole subtree cached (1): 3 requested, 2 instantiated
+        assert platform.operators_requested == 3
+        assert platform.operators_instantiated == 2
+        assert platform.reuse_ratio() == pytest.approx(1.5)
+
+    def test_shared_subgraph_partial_reuse(self, env, platform):
+        leaf = OperatorSpec.source("door-1")
+        SolarApp("a", platform).subscribe_graph(OperatorSpec.op("loc", leaf))
+        SolarApp("b", platform).subscribe_graph(OperatorSpec.op("merge", leaf))
+        # the leaf is shared; the two interior operators are not
+        assert platform.operators_instantiated == 3
+
+    def test_both_apps_receive_through_shared_graph(self, env, platform):
+        spec = OperatorSpec.op("loc", OperatorSpec.source("door-1"))
+        app_a = SolarApp("a", platform)
+        app_b = SolarApp("b", platform)
+        app_a.subscribe_graph(spec)
+        app_b.subscribe_graph(spec)
+        env.source("door-1").push("x")
+        assert app_a.received == ["x"]
+        assert app_b.received == ["x"]
+
+
+class TestRobustnessGap:
+    """'they have not addressed the issue of robustness'."""
+
+    def test_source_death_goes_quiet(self, env, platform):
+        app = SolarApp("a", platform)
+        app.subscribe_graph(OperatorSpec.op("loc", OperatorSpec.source("door-1")))
+        env.kill("door-1")
+        env.source("door-1").push("ignored")
+        assert app.received == []
+        assert not app.satisfied()
+
+    def test_recovery_needs_developer_rewiring(self, env, platform):
+        app = SolarApp("a", platform)
+        app.subscribe_graph(OperatorSpec.op("loc", OperatorSpec.source("door-1")))
+        env.kill("door-1")
+        assert not app.satisfied()
+        # the developer must author a NEW graph naming another source
+        app.subscribe_graph(OperatorSpec.op("loc", OperatorSpec.source("door-2")))
+        assert app.graphs_authored == 2
+        env.source("door-2").push("recovered")
+        assert "recovered" in app.received

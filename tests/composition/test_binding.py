@@ -1,0 +1,80 @@
+"""Binding rules: subject -> parameter derivation."""
+
+import pytest
+
+from repro.core.errors import CompositionError
+from repro.core.types import TypeSpec
+from repro.composition.binding import BindingRule, binding_rule_of
+from repro.entities.profile import Profile
+
+
+class TestBindingRule:
+    def test_subject_binds_one_param(self):
+        rule = BindingRule("subject", ("subject",))
+        assert rule.bind("bob") == {"subject": "bob"}
+
+    def test_pair_splits_on_separator(self):
+        rule = BindingRule("pair", ("from_subject", "to_subject"))
+        assert rule.bind("bob->john") == {"from_subject": "bob",
+                                          "to_subject": "john"}
+
+    def test_pair_with_custom_separator(self):
+        rule = BindingRule("pair", ("a", "b"), separator="|")
+        assert rule.bind("x|y") == {"a": "x", "b": "y"}
+
+    def test_pair_rejects_non_pair_subject(self):
+        rule = BindingRule("pair", ("a", "b"))
+        with pytest.raises(CompositionError):
+            rule.bind("just-bob")
+        with pytest.raises(CompositionError):
+            rule.bind("a->b->c")
+
+    def test_none_subject_rejected(self):
+        with pytest.raises(CompositionError):
+            BindingRule("subject", ("s",)).bind(None)
+
+    def test_arity_validation(self):
+        with pytest.raises(CompositionError):
+            BindingRule("subject", ("a", "b"))
+        with pytest.raises(CompositionError):
+            BindingRule("pair", ("a",))
+        with pytest.raises(CompositionError):
+            BindingRule("triple", ("a", "b", "c"))
+
+    def test_input_subjects_pair_positional(self):
+        rule = BindingRule("pair", ("a", "b"), bind_inputs=True)
+        inputs = [TypeSpec("location", "topological"),
+                  TypeSpec("location", "topological")]
+        bound = rule.input_subjects("bob->john", inputs)
+        assert bound[0].subject == "bob"
+        assert bound[1].subject == "john"
+
+    def test_input_subjects_noop_without_flag(self):
+        rule = BindingRule("pair", ("a", "b"), bind_inputs=False)
+        inputs = [TypeSpec("location", "topological")]
+        assert rule.input_subjects("x->y", inputs) == inputs
+
+    def test_input_count_mismatch_rejected(self):
+        rule = BindingRule("pair", ("a", "b"), bind_inputs=True)
+        with pytest.raises(CompositionError):
+            rule.input_subjects("x->y", [TypeSpec("location", "t")])
+
+
+class TestProfileExtraction:
+    def test_no_declaration_is_none(self, guids):
+        profile = Profile(guids.mint(), "plain")
+        assert binding_rule_of(profile) is None
+
+    def test_declaration_parsed(self, guids):
+        profile = Profile(guids.mint(), "p", attributes={
+            "binding": {"kind": "pair", "params": ["a", "b"],
+                        "separator": "=>", "bind_inputs": True}})
+        rule = binding_rule_of(profile)
+        assert rule.kind == "pair"
+        assert rule.separator == "=>"
+        assert rule.bind_inputs
+
+    def test_malformed_declaration_rejected(self, guids):
+        profile = Profile(guids.mint(), "p", attributes={"binding": {"kind": "subject"}})
+        with pytest.raises(CompositionError):
+            binding_rule_of(profile)

@@ -1,0 +1,116 @@
+"""Configuration plans: validation, structure queries."""
+
+import pytest
+
+from repro.core.errors import CompositionError, CycleError
+from repro.core.types import Converter, TypeSpec
+from repro.composition.graph import ConfigurationPlan, PlanEdge, PlanNode
+from repro.entities.profile import Profile
+
+
+def live_node(guids, key, name="ce"):
+    profile = Profile(guids.mint(), name,
+                      outputs=[TypeSpec("location", "topological")])
+    return PlanNode(key=key, kind="live", profile=profile,
+                    entity_hex=profile.entity_id.hex)
+
+
+@pytest.fixture
+def chain_plan(guids):
+    """sensor -> objloc -> path, a valid depth-3 plan."""
+    plan = ConfigurationPlan(TypeSpec("path", "rooms", "a->b"))
+    sensor = plan.add_node(live_node(guids, "live:sensor", "sensor"))
+    objloc = plan.add_node(live_node(guids, "live:objloc", "objloc"))
+    path = plan.add_node(live_node(guids, "live:path", "path"))
+    plan.add_edge("live:sensor", "live:objloc", TypeSpec("presence", "tag-read"))
+    plan.add_edge("live:objloc", "live:path",
+                  TypeSpec("location", "topological", "a"))
+    plan.set_output("live:path", TypeSpec("path", "rooms", "a->b"))
+    return plan
+
+
+class TestStructure:
+    def test_depth(self, chain_plan):
+        assert chain_plan.depth() == 3
+
+    def test_sources(self, chain_plan):
+        assert chain_plan.source_keys() == ["live:sensor"]
+
+    def test_inputs_and_consumers(self, chain_plan):
+        assert len(chain_plan.inputs_of("live:objloc")) == 1
+        assert len(chain_plan.consumers_of("live:objloc")) == 1
+        assert chain_plan.inputs_of("live:sensor") == []
+
+    def test_duplicate_edges_collapsed(self, chain_plan):
+        before = len(chain_plan.edges)
+        chain_plan.add_edge("live:sensor", "live:objloc",
+                            TypeSpec("presence", "tag-read"))
+        assert len(chain_plan.edges) == before
+
+    def test_add_node_idempotent_by_key(self, chain_plan, guids):
+        existing = chain_plan.nodes["live:sensor"]
+        returned = chain_plan.add_node(live_node(guids, "live:sensor"))
+        assert returned is existing
+
+    def test_live_entity_hexes(self, chain_plan):
+        assert len(chain_plan.live_entity_hexes()) == 3
+
+    def test_describe_mentions_edges(self, chain_plan):
+        text = chain_plan.describe()
+        assert "presence[tag-read]" in text
+
+
+class TestValidation:
+    def test_valid_plan_passes(self, chain_plan):
+        chain_plan.validate()
+
+    def test_missing_output_rejected(self, guids):
+        plan = ConfigurationPlan(TypeSpec("x", "y"))
+        plan.add_node(live_node(guids, "live:a"))
+        with pytest.raises(CompositionError):
+            plan.validate()
+
+    def test_cycle_rejected(self, guids):
+        plan = ConfigurationPlan(TypeSpec("x", "y"))
+        plan.add_node(live_node(guids, "live:a"))
+        plan.add_node(live_node(guids, "live:b"))
+        plan.add_edge("live:a", "live:b", TypeSpec("x", "y"))
+        plan.add_edge("live:b", "live:a", TypeSpec("x", "y"))
+        plan.set_output("live:a", TypeSpec("x", "y"))
+        with pytest.raises(CycleError):
+            plan.validate()
+
+    def test_unreachable_node_rejected(self, chain_plan, guids):
+        chain_plan.add_node(live_node(guids, "live:orphan"))
+        with pytest.raises(CompositionError):
+            chain_plan.validate()
+
+    def test_converter_without_input_rejected(self, guids):
+        plan = ConfigurationPlan(TypeSpec("location", "symbolic"))
+        converter = PlanNode(
+            key="conv:1", kind="converter",
+            profile=Profile(guids.mint(), "conv",
+                            outputs=[TypeSpec("location", "symbolic")]),
+            converter_chain=(Converter("location", "a", "b", lambda v: v),),
+            input_spec=TypeSpec("location", "a"),
+            output_spec=TypeSpec("location", "b"))
+        plan.add_node(converter)
+        plan.set_output("conv:1", TypeSpec("location", "b"))
+        with pytest.raises(CompositionError):
+            plan.validate()
+
+    def test_edge_to_unknown_node_rejected(self, chain_plan):
+        with pytest.raises(CompositionError):
+            chain_plan.add_edge("live:sensor", "live:ghost",
+                                TypeSpec("presence", "tag-read"))
+
+    def test_node_kind_invariants(self, guids):
+        profile = Profile(guids.mint(), "p")
+        with pytest.raises(CompositionError):
+            PlanNode(key="x", kind="weird", profile=profile)
+        with pytest.raises(CompositionError):
+            PlanNode(key="x", kind="live", profile=profile)  # no hex
+        with pytest.raises(CompositionError):
+            PlanNode(key="x", kind="template", profile=profile)  # no name
+        with pytest.raises(CompositionError):
+            PlanNode(key="x", kind="converter", profile=profile)  # no chain

@@ -1,0 +1,191 @@
+"""The Query Resolver: backward chaining, converters, templates, bindings."""
+
+import pytest
+
+from repro.core.errors import NoProviderError
+from repro.core.ids import GuidFactory
+from repro.core.types import TypeSpec
+from repro.composition.resolver import QueryResolver
+from repro.composition.templates import TemplateRegistry
+from repro.entities.profile import EntityClass, Profile
+from repro.server.deployment import standard_templates
+
+
+GUIDS = GuidFactory(seed=11)
+
+
+def sensor_profile(name, type_name="presence", representation="tag-read",
+                   subject=None, **attributes):
+    return Profile(GUIDS.mint(), name, EntityClass.DEVICE,
+                   outputs=[TypeSpec(type_name, representation, subject)],
+                   attributes=attributes)
+
+
+@pytest.fixture
+def world(registry, guids, building):
+    """(profiles list, templates, resolver) with mutable profiles."""
+    profiles = [
+        sensor_profile("door-1"),
+        sensor_profile("door-2"),
+        sensor_profile("wlan", "location", "geometric"),
+        sensor_profile("thermo-celsius", "temperature", "celsius",
+                       subject="L10.01", room="L10.01"),
+        sensor_profile("thermo-fahrenheit", "temperature", "fahrenheit",
+                       subject="L10.02", room="L10.02"),
+    ]
+    templates = standard_templates(guids, building)
+    bindings = {}
+    resolver = QueryResolver(registry, live_profiles=lambda: list(profiles),
+                             templates=templates,
+                             bindings_of=bindings.get)
+    return profiles, templates, resolver, bindings
+
+
+class TestDirectResolution:
+    def test_direct_sensor_match(self, world):
+        profiles, _, resolver, _ = world
+        plan = resolver.resolve(TypeSpec("temperature", "celsius"))
+        assert plan.depth() == 1
+        node = plan.nodes[plan.output_key]
+        assert node.profile.name == "thermo-celsius"
+
+    def test_no_provider_raises_with_chain(self, world):
+        _, _, resolver, _ = world
+        with pytest.raises(NoProviderError):
+            resolver.resolve(TypeSpec("printer-status", "record"))
+
+    def test_deterministic(self, world):
+        _, _, resolver, _ = world
+        wanted = TypeSpec("location", "topological", "bob")
+        first = resolver.resolve(wanted).describe()
+        second = resolver.resolve(wanted).describe()
+        # plan ids differ; structure must not
+        assert first.split("\n")[1:] == second.split("\n")[1:]
+
+
+class TestChaining:
+    def test_figure3_path_graph(self, world):
+        _, _, resolver, _ = world
+        plan = resolver.resolve(TypeSpec("path", "rooms", "bob->john"))
+        assert plan.depth() == 3
+        kinds = {node.kind for node in plan.nodes.values()}
+        assert kinds == {"live", "template"}
+        path_nodes = [node for node in plan.nodes.values()
+                      if node.template_name == "path-ce"]
+        assert len(path_nodes) == 1
+        assert path_nodes[0].bindings == {"from_subject": "bob",
+                                          "to_subject": "john"}
+
+    def test_two_obj_locations_for_path(self, world):
+        _, _, resolver, _ = world
+        plan = resolver.resolve(TypeSpec("path", "rooms", "bob->john"))
+        obj_nodes = [node for node in plan.nodes.values()
+                     if node.template_name == "obj-location"]
+        assert {tuple(node.bindings.items()) for node in obj_nodes} == {
+            (("subject", "bob"),), (("subject", "john"),)}
+
+    def test_multi_source_input_wires_all_sensors(self, world):
+        _, _, resolver, _ = world
+        plan = resolver.resolve(TypeSpec("location", "topological", "bob"))
+        obj_key = plan.output_key
+        producers = {edge.producer for edge in plan.inputs_of(obj_key)}
+        assert len(producers) == 2  # both door sensors
+
+    def test_shared_sensors_deduped_in_plan(self, world):
+        _, _, resolver, _ = world
+        plan = resolver.resolve(TypeSpec("path", "rooms", "bob->john"))
+        sensor_nodes = [node for node in plan.nodes.values()
+                        if node.profile.name.startswith("door")]
+        assert len(sensor_nodes) == 2  # not duplicated per obj-location
+
+
+class TestConverters:
+    def test_native_preferred_over_converted(self, world):
+        _, _, resolver, _ = world
+        plan = resolver.resolve(TypeSpec("location", "topological", "bob"))
+        assert all(node.kind != "converter" for node in plan.nodes.values())
+
+    def test_converter_spliced_when_needed(self, world):
+        profiles, _, resolver, _ = world
+        # remove door sensors: only the geometric wlan can provide location
+        profiles[:] = [p for p in profiles if not p.name.startswith("door")]
+        plan = resolver.resolve(TypeSpec("location", "topological", "bob"))
+        converters = [node for node in plan.nodes.values()
+                      if node.kind == "converter"]
+        assert len(converters) == 1
+        assert converters[0].output_spec.representation == "topological"
+        assert plan.output_key == converters[0].key
+
+    def test_exclusion_forces_alternative(self, world):
+        profiles, _, resolver, _ = world
+        wanted = TypeSpec("location", "topological", "bob")
+        first = resolver.resolve(wanted)
+        door_hexes = {node.entity_hex for node in first.nodes.values()
+                      if node.profile.name.startswith("door")}
+        second = resolver.resolve(wanted, exclude=frozenset(door_hexes))
+        names = {node.profile.name for node in second.nodes.values()}
+        assert "wlan" in names  # fell back to the wireless chain
+
+    def test_unbridgeable_gap_fails(self, world, registry):
+        _, _, resolver, _ = world
+        with pytest.raises(NoProviderError):
+            resolver.resolve(TypeSpec("temperature", "kelvin"))
+
+
+class TestPredicates:
+    def test_where_predicate_restricts_providers(self, world):
+        _, _, resolver, _ = world
+        # The only celsius thermometer is in L10.01; with that room excluded
+        # and no fahrenheit->celsius converter registered, resolution fails.
+        with pytest.raises(NoProviderError):
+            resolver.resolve(
+                TypeSpec("temperature", "celsius"),
+                provider_predicate=lambda p: p.attributes.get("room") != "L10.01")
+
+    def test_predicate_with_converter_bridges(self, world, registry):
+        _, _, resolver, _ = world
+        registry.add_converter("temperature", "fahrenheit", "celsius",
+                               lambda f: (f - 32) * 5 / 9)
+        plan = resolver.resolve(
+            TypeSpec("temperature", "celsius"),
+            provider_predicate=lambda p: p.attributes.get("room") != "L10.01")
+        names = {node.profile.name for node in plan.nodes.values()}
+        assert "thermo-fahrenheit" in names
+        assert any(node.kind == "converter" for node in plan.nodes.values())
+
+
+class TestBindings:
+    def test_claimed_conflicting_binding_skipped(self, world):
+        profiles, _, resolver, bindings = world
+        # a live obj-location already bound to eve
+        bound = Profile(GUIDS.mint(), "live-objloc",
+                        outputs=[TypeSpec("location", "topological")],
+                        inputs=[TypeSpec("presence", "tag-read")],
+                        params={"subject": ""},
+                        attributes={"binding": {"kind": "subject",
+                                                "params": ["subject"]}})
+        profiles.append(bound)
+        bindings[bound.entity_id.hex] = {"subject": "eve"}
+        plan = resolver.resolve(TypeSpec("location", "topological", "bob"))
+        # must NOT use the eve-bound CE
+        assert all(node.entity_hex != bound.entity_id.hex
+                   for node in plan.nodes.values())
+
+    def test_claimed_matching_binding_reused(self, world):
+        profiles, _, resolver, bindings = world
+        bound = Profile(GUIDS.mint(), "live-objloc",
+                        outputs=[TypeSpec("location", "topological")],
+                        inputs=[TypeSpec("presence", "tag-read")],
+                        params={"subject": ""},
+                        attributes={"binding": {"kind": "subject",
+                                                "params": ["subject"]}})
+        profiles.append(bound)
+        bindings[bound.entity_id.hex] = {"subject": "bob"}
+        plan = resolver.resolve(TypeSpec("location", "topological", "bob"))
+        assert any(node.entity_hex == bound.entity_id.hex
+                   for node in plan.nodes.values())
+
+    def test_pair_template_needs_pair_subject(self, world):
+        _, _, resolver, _ = world
+        with pytest.raises(NoProviderError):
+            resolver.resolve(TypeSpec("path", "rooms", "malformed-subject"))

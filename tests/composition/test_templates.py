@@ -1,0 +1,88 @@
+"""CE templates: instantiation, limits, prototype/instance agreement."""
+
+import pytest
+
+from repro.core.errors import CompositionError
+from repro.core.types import TypeSpec
+from repro.composition.templates import CETemplate, TemplateRegistry
+from repro.entities.derived import ObjectLocationCE, PathCE
+from repro.entities.profile import Profile
+from repro.server.deployment import (
+    object_location_template,
+    occupancy_template,
+    path_template,
+    standard_templates,
+)
+
+
+class TestRegistry:
+    def test_register_and_get(self, guids):
+        registry = TemplateRegistry()
+        template = object_location_template(guids.mint())
+        registry.register(template)
+        assert registry.get("obj-location") is template
+        assert registry.known("obj-location")
+
+    def test_duplicate_rejected(self, guids):
+        registry = TemplateRegistry()
+        registry.register(object_location_template(guids.mint()))
+        with pytest.raises(CompositionError):
+            registry.register(object_location_template(guids.mint()))
+
+    def test_unknown_rejected(self):
+        with pytest.raises(CompositionError):
+            TemplateRegistry().get("nope")
+
+    def test_prototypes_listed(self, guids, building):
+        registry = standard_templates(guids, building)
+        names = {p.name for p in registry.prototypes()}
+        assert names == {"obj-location", "path-ce", "occupancy"}
+
+
+class TestInstantiation:
+    def test_factory_produces_working_ce(self, network, guids):
+        template = object_location_template(guids.mint())
+        instance = template.instantiate(guids.mint(), "host-a", network)
+        assert isinstance(instance, ObjectLocationCE)
+        assert template.instances_created == 1
+
+    def test_max_instances_enforced(self, network, guids):
+        template = CETemplate(
+            "limited", object_location_template(guids.mint()).prototype,
+            factory=lambda g, h, n: ObjectLocationCE(g, h, n),
+            max_instances=1)
+        template.instantiate(guids.mint(), "host-a", network)
+        with pytest.raises(CompositionError):
+            template.instantiate(guids.mint(), "host-a", network)
+
+
+class TestPrototypeAgreement:
+    """The resolver matches on prototypes; instances must honour them."""
+
+    @pytest.mark.parametrize("make_template,keys", [
+        (object_location_template, ("outputs", "inputs", "params")),
+    ])
+    def test_obj_location_prototype_matches_instance(self, network, guids,
+                                                     make_template, keys):
+        template = make_template(guids.mint())
+        instance = template.instantiate(guids.mint(), "host-a", network)
+        for key in keys:
+            assert getattr(template.prototype, key) == getattr(instance.profile, key)
+        assert template.prototype.attributes.get("binding") == \
+            instance.profile.attributes.get("binding")
+
+    def test_path_prototype_matches_instance(self, network, guids, building):
+        template = path_template(guids.mint(), building)
+        instance = template.instantiate(guids.mint(), "host-a", network)
+        assert isinstance(instance, PathCE)
+        assert template.prototype.outputs == instance.profile.outputs
+        assert template.prototype.inputs == instance.profile.inputs
+        assert template.prototype.params == instance.profile.params
+        assert template.prototype.attributes["binding"] == \
+            instance.profile.attributes["binding"]
+
+    def test_occupancy_prototype_matches_instance(self, network, guids, building):
+        template = occupancy_template(guids.mint(), building)
+        instance = template.instantiate(guids.mint(), "host-a", network)
+        assert template.prototype.outputs == instance.profile.outputs
+        assert template.prototype.params == instance.profile.params

@@ -1,0 +1,89 @@
+"""Introspection reports render complete, accurate snapshots."""
+
+import pytest
+
+from repro import SCI, SCIConfig
+from repro.core.inspect import configuration_report, range_report, system_report
+from repro.query.model import QueryBuilder
+
+
+@pytest.fixture
+def deployment():
+    sci = SCI(config=SCIConfig(seed=37))
+    sci.create_range("level10", places=["L10"], hosts=["pc"])
+    sci.add_door_sensors("level10")
+    sci.add_printers("level10", {"P1": "L10.03"})
+    sci.add_person("bob", room="corridor", device_host="bob-pda")
+    app = sci.create_application("app", host="pc")
+    sci.run(5)
+    app.submit_query(QueryBuilder("ops")
+                     .subscribe("location", "topological", subject="bob")
+                     .build())
+    sci.run(5)
+    return sci, app
+
+
+class TestRangeReport:
+    def test_mentions_population_and_kinds(self, deployment):
+        sci, _ = deployment
+        text = range_report(sci.range("level10"))
+        assert "Range 'level10'" in text
+        assert "ce" in text and "caa" in text
+        assert "P1" in text
+
+    def test_mentions_configurations(self, deployment):
+        sci, _ = deployment
+        text = range_report(sci.range("level10"))
+        assert "cfg-" in text
+        assert "location[topological]@bob" in text
+        assert "[active]" in text
+
+    def test_mentions_parked_queries(self, deployment):
+        sci, app = deployment
+        app.submit_query(QueryBuilder("bob").profiles_of_type("device")
+                         .when("enters(bob, L10.01)").build())
+        sci.run(5)
+        text = range_report(sci.range("level10"))
+        assert "parked queries: 1" in text
+        assert "enters(bob, L10.01)" in text
+
+
+class TestConfigurationReport:
+    def test_shows_graph_and_deliveries(self, deployment):
+        sci, app = deployment
+        config = sci.range("level10").configurations.configurations()[0]
+        text = configuration_report(sci.range("level10"), config.config_id)
+        assert "door-sensor" in text
+        assert "obj-location" in text
+        assert "durable" in text
+        assert app.guid.hex[:8] in text
+
+    def test_unknown_config(self, deployment):
+        sci, _ = deployment
+        assert "no such" in configuration_report(sci.range("level10"),
+                                                 "cfg-none")
+
+    def test_shows_exclusions_after_repair(self, deployment):
+        sci, _ = deployment
+        server = sci.range("level10")
+        config = server.configurations.configurations()[0]
+        victim = next(iter(sci.door_sensors.values()))
+        server.configurations.handle_entity_departure(victim.guid.hex)
+        text = configuration_report(server, config.config_id)
+        assert "excluded providers" in text
+
+
+class TestSystemReport:
+    def test_covers_everything(self, deployment):
+        sci, _ = deployment
+        text = system_report(sci)
+        assert "SCI deployment" in text
+        assert "SCINET: 1 node(s)" in text
+        assert "Range 'level10'" in text
+        assert "bob: corridor [bob-pda]" in text
+
+    def test_renders_without_world_population(self):
+        sci = SCI(config=SCIConfig(seed=38))
+        sci.create_range("r", places=["livingstone"])
+        sci.run(5)
+        assert "world:" not in system_report(sci)

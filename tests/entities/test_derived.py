@@ -1,0 +1,224 @@
+"""Derived CEs: objLocation, path, converter, occupancy, aggregator."""
+
+import pytest
+
+from repro.core.types import Converter, TypeSpec
+from repro.entities.derived import (
+    ConverterCE,
+    ObjectLocationCE,
+    OccupancyCE,
+    PathCE,
+    WindowAggregatorCE,
+)
+from repro.events.event import ContextEvent
+from repro.events.filters import TypeFilter
+
+
+def attach(ce, server):
+    ce.attach_to_range(server.registrar.guid, server.guid,
+                       server.mediator.guid, server.definition.name)
+    return ce
+
+
+def presence_event(source, entity, from_room, to_room):
+    return ContextEvent(
+        TypeSpec("presence", "tag-read", entity),
+        {"entity": entity, "from": from_room, "to": to_room, "door": "d"},
+        source, 0.0)
+
+
+class TestObjectLocation:
+    def test_tracks_bound_subject(self, network, guids, deployed_range):
+        server, _ = deployed_range
+        ce = attach(ObjectLocationCE(guids.mint(), "host-a", network), server)
+        ce.set_param("subject", "bob")
+        ce.on_event(presence_event(server.guid, "bob", "corridor", "L10.01"), 1)
+        network.scheduler.run_for(5)
+        retained = server.mediator.retained_event("location", "topological", "bob")
+        assert retained.value == "L10.01"
+        assert ce.current_room == "L10.01"
+
+    def test_ignores_other_entities(self, network, guids, deployed_range):
+        server, _ = deployed_range
+        ce = attach(ObjectLocationCE(guids.mint(), "host-a", network), server)
+        ce.set_param("subject", "bob")
+        ce.on_event(presence_event(server.guid, "john", "a", "b"), 1)
+        network.scheduler.run_for(5)
+        assert ce.current_room is None
+
+    def test_unbound_publishes_nothing(self, network, guids, deployed_range):
+        server, _ = deployed_range
+        ce = attach(ObjectLocationCE(guids.mint(), "host-a", network), server)
+        ce.on_event(presence_event(server.guid, "bob", "a", "b"), 1)
+        assert ce.events_published == 0
+
+    def test_initial_room_seeds_location(self, network, guids, deployed_range):
+        server, _ = deployed_range
+        ce = attach(ObjectLocationCE(guids.mint(), "host-a", network), server)
+        ce.set_param("subject", "bob")
+        ce.set_param("initial_room", "corridor")
+        network.scheduler.run_for(5)
+        retained = server.mediator.retained_event("location", "topological", "bob")
+        assert retained.value == "corridor"
+
+
+class TestPathCE:
+    def test_publishes_when_both_known(self, network, guids, deployed_range,
+                                       building):
+        server, _ = deployed_range
+        ce = attach(PathCE(guids.mint(), "host-a", network, building), server)
+        ce.set_param("from_subject", "bob")
+        ce.set_param("to_subject", "john")
+
+        def location_event(subject, room):
+            return ContextEvent(TypeSpec("location", "topological", subject),
+                                room, server.guid, 0.0)
+
+        ce.on_event(location_event("bob", "L10.01"), 1)
+        assert ce.paths_published == 0  # john unknown
+        ce.on_event(location_event("john", "L10.02"), 2)
+        assert ce.paths_published == 1
+        network.scheduler.run_for(5)
+        retained = server.mediator.retained_event("path", "rooms", "bob->john")
+        assert retained.value["rooms"] == ["L10.01", "corridor", "L10.02"]
+        assert retained.value["cost"] > 0
+        assert len(retained.value["polyline"]) >= 3
+
+    def test_update_on_movement(self, network, guids, deployed_range, building):
+        server, _ = deployed_range
+        ce = attach(PathCE(guids.mint(), "host-a", network, building), server)
+        ce.set_param("from_subject", "bob")
+        ce.set_param("to_subject", "john")
+
+        def loc(subject, room):
+            return ContextEvent(TypeSpec("location", "topological", subject),
+                                room, server.guid, 0.0)
+
+        ce.on_event(loc("bob", "L10.01"), 1)
+        ce.on_event(loc("john", "L10.02"), 2)
+        ce.on_event(loc("john", "open-area"), 3)
+        assert ce.paths_published == 2
+
+
+class TestConverterCE:
+    def test_applies_chain_and_republishes(self, network, guids, deployed_range,
+                                           registry):
+        server, _ = deployed_range
+        chain = registry.conversion_path(TypeSpec("location", "geometric"),
+                                         TypeSpec("location", "topological"))
+        ce = attach(ConverterCE(guids.mint(), "host-a", network,
+                                TypeSpec("location", "geometric"),
+                                TypeSpec("location", "topological"),
+                                chain), server)
+        event = ContextEvent(TypeSpec("location", "geometric", "bob"),
+                             (14.0, 7.0), server.guid, 0.0,
+                             attributes={"accuracy": 2.0})
+        ce.on_event(event, 1)
+        network.scheduler.run_for(5)
+        retained = server.mediator.retained_event("location", "topological", "bob")
+        assert retained.value == "L10.01"
+        assert retained.attributes["accuracy"] > 2.0  # degraded by fidelity
+        assert retained.attributes["converted_by"] == ce.profile.name
+
+    def test_conversion_failure_counted_not_raised(self, network, guids,
+                                                   deployed_range):
+        server, _ = deployed_range
+        bad = Converter("location", "a", "b", lambda v: 1 / 0)
+        ce = attach(ConverterCE(guids.mint(), "host-a", network,
+                                TypeSpec("location", "a"),
+                                TypeSpec("location", "b"), [bad]), server)
+        ce.on_event(ContextEvent(TypeSpec("location", "a", "bob"), 1,
+                                 server.guid, 0.0), 1)
+        assert ce.failures == 1
+        assert ce.conversions == 0
+
+    def test_empty_chain_rejected(self, network, guids):
+        with pytest.raises(ValueError):
+            ConverterCE(guids.mint(), "host-a", network,
+                        TypeSpec("a", "x"), TypeSpec("a", "y"), [])
+
+
+class TestOccupancy:
+    def test_counts_entities_in_place(self, network, guids, deployed_range,
+                                      building):
+        server, _ = deployed_range
+        ce = attach(OccupancyCE(guids.mint(), "host-a", network, building),
+                    server)
+        ce.set_param("place", "L10")
+
+        def loc(subject, room):
+            return ContextEvent(TypeSpec("location", "topological", subject),
+                                room, server.guid, 0.0)
+
+        ce.on_event(loc("bob", "L10.01"), 1)
+        assert ce.current_count() == 1
+        ce.on_event(loc("john", "L10.02"), 2)
+        assert ce.current_count() == 2
+        ce.on_event(loc("bob", "lobby"), 3)
+        assert ce.current_count() == 1
+
+    def test_publishes_only_on_change(self, network, guids, deployed_range,
+                                      building):
+        server, _ = deployed_range
+        ce = attach(OccupancyCE(guids.mint(), "host-a", network, building),
+                    server)
+        ce.set_param("place", "L10")
+
+        def loc(subject, room):
+            return ContextEvent(TypeSpec("location", "topological", subject),
+                                room, server.guid, 0.0)
+
+        ce.on_event(loc("bob", "L10.01"), 1)
+        ce.on_event(loc("bob", "L10.02"), 2)  # still in L10: count unchanged
+        assert ce.events_published == 1
+
+
+class TestWindowAggregator:
+    def test_mean_over_window(self, network, guids, deployed_range):
+        server, _ = deployed_range
+        ce = attach(WindowAggregatorCE(guids.mint(), "host-a", network,
+                                       TypeSpec("temperature", "celsius"),
+                                       operation="mean", window=3), server)
+
+        def temp(value):
+            return ContextEvent(TypeSpec("temperature", "celsius", "x"),
+                                value, server.guid, 0.0)
+
+        for value in (10.0, 20.0, 30.0, 40.0):
+            ce.on_event(temp(value), 1)
+        network.scheduler.run_for(5)
+        retained = server.mediator.retained_event("temperature",
+                                                  "mean-celsius", "x")
+        assert retained.value == pytest.approx(30.0)  # (20+30+40)/3
+
+    def test_min_max_operations(self, network, guids, deployed_range):
+        server, _ = deployed_range
+        for operation, expected in (("min", 5.0), ("max", 15.0)):
+            ce = attach(WindowAggregatorCE(guids.mint(), "host-a", network,
+                                           TypeSpec("temperature", "celsius"),
+                                           operation=operation, window=5,
+                                           name=f"agg-{operation}"), server)
+            for value in (10.0, 5.0, 15.0):
+                ce.on_event(ContextEvent(TypeSpec("temperature", "celsius", "y"),
+                                         value, server.guid, 0.0), 1)
+            network.scheduler.run_for(5)
+            retained = server.mediator.retained_event(
+                "temperature", f"{operation}-celsius", "y")
+            assert retained.value == expected
+
+    def test_non_numeric_ignored(self, network, guids, deployed_range):
+        server, _ = deployed_range
+        ce = attach(WindowAggregatorCE(guids.mint(), "host-a", network,
+                                       TypeSpec("temperature", "celsius")),
+                    server)
+        ce.on_event(ContextEvent(TypeSpec("temperature", "celsius", "x"),
+                                 "not-a-number", server.guid, 0.0), 1)
+        assert ce.events_published == 0
+
+    def test_invalid_config_rejected(self, network, guids):
+        with pytest.raises(ValueError):
+            WindowAggregatorCE(guids.mint(), "host-a", network,
+                               TypeSpec("t", "c"), operation="median")
+        with pytest.raises(ValueError):
+            WindowAggregatorCE(guids.mint(), "host-a", network,
+                               TypeSpec("t", "c"), window=0)

@@ -1,0 +1,122 @@
+"""Printer CE: queueing, paper, status events, service interface."""
+
+import pytest
+
+from repro.entities.devices import PrinterCE, PrinterState
+from repro.net.transport import FunctionProcess
+
+
+@pytest.fixture
+def printer(network, guids, deployed_range):
+    server, _ = deployed_range
+    device = PrinterCE(guids.mint(), "host-a", network,
+                       printer_name="P1", room="L10.03",
+                       seconds_per_page=2.0, paper_capacity=50)
+    device.start()
+    network.scheduler.run_for(10)
+    assert device.registered
+    return server, device
+
+
+def invoke(network, guids, target, operation, args=None):
+    replies = []
+    caller = FunctionProcess(guids.mint(), "host-b", network, replies.append)
+    caller.send(target.guid, "service-invoke",
+                {"operation": operation, "args": args or {}})
+    network.scheduler.run_for(5)
+    return replies[0].payload
+
+
+class TestPrinting:
+    def test_accepts_and_completes_job(self, network, guids, printer):
+        server, device = printer
+        result = invoke(network, guids, device, "print",
+                        {"document": "doc.pdf", "pages": 3, "owner": "bob"})
+        assert result["ok"] and result["result"]["accepted"]
+        assert device.state == PrinterState.BUSY
+        network.scheduler.run_for(10)  # 3 pages * 2s
+        assert device.state == PrinterState.IDLE
+        assert device.jobs_completed[0]["document"] == "doc.pdf"
+        assert device.paper_remaining == 47
+
+    def test_jobs_queue_fifo(self, network, guids, printer):
+        _, device = printer
+        caller = FunctionProcess(guids.mint(), "host-b", network,
+                                 lambda message: None)
+        for document in ("a", "b"):
+            caller.send(device.guid, "service-invoke",
+                        {"operation": "print",
+                         "args": {"document": document, "pages": 2}})
+        network.scheduler.run_for(2)  # both arrive, neither can finish yet
+        assert device.queue_length == 2
+        network.scheduler.run_for(20)
+        assert [job["document"] for job in device.jobs_completed] == ["a", "b"]
+
+    def test_empty_document_refused(self, network, guids, printer):
+        _, device = printer
+        result = invoke(network, guids, device, "print", {"pages": 0})
+        assert result["result"]["accepted"] is False
+
+    def test_insufficient_paper_refused(self, network, guids, printer):
+        _, device = printer
+        result = invoke(network, guids, device, "print", {"pages": 500})
+        assert result["result"]["accepted"] is False
+        assert "paper" in result["result"]["reason"]
+
+
+class TestPaperHandling:
+    def test_out_of_paper_state(self, network, guids, printer):
+        _, device = printer
+        device.set_out_of_paper()
+        assert device.state == PrinterState.OUT_OF_PAPER
+        result = invoke(network, guids, device, "print", {"pages": 1})
+        assert result["result"]["accepted"] is False
+
+    def test_refill_resumes(self, network, guids, printer):
+        _, device = printer
+        device.set_out_of_paper()
+        device.refill_paper(100)
+        assert device.state == PrinterState.IDLE
+        result = invoke(network, guids, device, "print", {"pages": 1})
+        assert result["result"]["accepted"] is True
+
+    def test_exhaustion_mid_queue(self, network, guids, printer):
+        _, device = printer
+        device.paper_remaining = 3
+        invoke(network, guids, device, "print", {"document": "a", "pages": 3})
+        invoke(network, guids, device, "print", {"document": "b", "pages": 3})
+        network.scheduler.run_for(30)
+        assert len(device.jobs_completed) == 1
+        assert device.state == PrinterState.OUT_OF_PAPER
+
+    def test_invalid_refill(self, printer):
+        _, device = printer
+        with pytest.raises(ValueError):
+            device.refill_paper(0)
+
+
+class TestStatusEvents:
+    def test_status_published_on_registration(self, printer):
+        server, device = printer
+        retained = server.mediator.retained_event("printer-status", "record", "P1")
+        assert retained is not None
+        assert retained.value["state"] == "idle"
+
+    def test_status_reflects_busy(self, network, guids, printer):
+        server, device = printer
+        invoke(network, guids, device, "print", {"pages": 5})
+        retained = server.mediator.retained_event("printer-status", "record", "P1")
+        assert retained.value["state"] == "busy"
+        assert retained.value["queue_length"] == 1
+
+    def test_status_operation(self, network, guids, printer):
+        _, device = printer
+        result = invoke(network, guids, device, "status")
+        assert result["result"]["printer"] == "P1"
+        assert result["result"]["room"] == "L10.03"
+
+    def test_advertisement_present(self, printer):
+        server, device = printer
+        record = server.registrar.record(device.guid.hex)
+        assert record.advertisements[0].service_name == "print-service"
+        assert record.advertisements[0].supports("print")

@@ -1,0 +1,72 @@
+"""Profiles and advertisements: wire forms and type queries."""
+
+import pytest
+
+from repro.core.types import TypeSpec
+from repro.entities.advertisement import Advertisement
+from repro.entities.profile import EntityClass, Profile
+
+
+@pytest.fixture
+def profile(guids):
+    return Profile(
+        entity_id=guids.mint(),
+        name="obj-location",
+        entity_class=EntityClass.SOFTWARE,
+        outputs=[TypeSpec.of("location", "topological", quality={"accuracy": 2.0})],
+        inputs=[TypeSpec("presence", "tag-read")],
+        params={"subject": "tracked entity"},
+        attributes={"binding": {"kind": "subject", "params": ["subject"]}},
+        quality={"accuracy": 2.0},
+    )
+
+
+class TestProfile:
+    def test_wire_round_trip(self, profile):
+        restored = Profile.from_wire(profile.to_wire())
+        assert restored.entity_id == profile.entity_id
+        assert restored.name == profile.name
+        assert restored.entity_class == profile.entity_class
+        assert restored.outputs == profile.outputs
+        assert restored.inputs == profile.inputs
+        assert restored.params == profile.params
+        assert restored.attributes == profile.attributes
+        assert restored.quality == profile.quality
+
+    def test_wire_form_is_json_safe(self, profile):
+        import json
+        assert json.loads(json.dumps(profile.to_wire()))
+
+    def test_provides_type(self, profile):
+        assert profile.provides_type("location")
+        assert not profile.provides_type("temperature")
+
+    def test_output_of_type(self, profile):
+        assert profile.output_of_type("location").representation == "topological"
+        assert profile.output_of_type("path") is None
+
+    def test_is_source(self, profile, guids):
+        assert not profile.is_source  # has inputs
+        sensor = Profile(guids.mint(), "sensor",
+                         outputs=[TypeSpec("presence", "tag-read")])
+        assert sensor.is_source
+
+    def test_entity_classes_cover_paper(self):
+        # Section 3: People, Software, Places, Devices and Artifacts
+        assert {cls.value for cls in EntityClass} == {
+            "person", "software", "place", "device", "artifact"}
+
+
+class TestAdvertisement:
+    def test_wire_round_trip(self):
+        ad = Advertisement("print-service", ["print", "status"],
+                           {"room": "L10.03"})
+        restored = Advertisement.from_wire(ad.to_wire())
+        assert restored.service_name == ad.service_name
+        assert restored.operations == ad.operations
+        assert restored.attributes == ad.attributes
+
+    def test_supports(self):
+        ad = Advertisement("print-service", ["print"])
+        assert ad.supports("print")
+        assert not ad.supports("scan")

@@ -1,0 +1,135 @@
+"""Sensor CEs: door sensors, W-LAN detector, thermometer."""
+
+import pytest
+
+from repro.core.ids import GuidFactory
+from repro.entities.sensors import DoorSensorCE, TemperatureSensorCE, WLANDetectorCE
+from repro.events.filters import TypeFilter
+from repro.location.building import livingstone_tower
+from repro.location.geometry import Point
+from repro.net.transport import FunctionProcess
+
+
+@pytest.fixture
+def ranged(network, guids, deployed_range):
+    """(server, collector inbox subscribed to everything)."""
+    server, sensors = deployed_range
+    inbox = []
+    collector = FunctionProcess(guids.mint(), "host-a", network, inbox.append)
+    return server, sensors, collector, inbox
+
+
+class TestDoorSensor:
+    def test_detect_publishes_presence(self, network, ranged):
+        server, sensors, collector, inbox = ranged
+        server.mediator.add_subscription(collector.guid, TypeFilter("presence"))
+        sensor = sensors["door:corridor--L10.01"]
+        assert sensor.detect("bob", "corridor", "L10.01")
+        network.scheduler.run_for(5)
+        values = [m.payload["event"]["value"] for m in inbox
+                  if m.kind == "event"]
+        assert {"entity": "bob", "door": "door:corridor--L10.01",
+                "from": "corridor", "to": "L10.01"} in values
+
+    def test_miss_rate_drops_some_reads(self, network, guids, deployed_range):
+        sensor = DoorSensorCE(guids.mint(), "host-a", network,
+                              "door-x", "a", "b", miss_rate=0.5, seed=3)
+        sensor.start()
+        network.scheduler.run_for(10)
+        results = [sensor.detect("bob", "a", "b") for _ in range(100)]
+        assert 10 < sum(results) < 90
+        assert sensor.misses == 100 - sensor.detections
+
+    def test_invalid_miss_rate(self, network, guids):
+        with pytest.raises(ValueError):
+            DoorSensorCE(guids.mint(), "host-a", network, "d", "a", "b",
+                         miss_rate=1.0)
+
+    def test_profile_declares_presence_output(self, deployed_range):
+        _, sensors = deployed_range
+        sensor = next(iter(sensors.values()))
+        assert sensor.profile.provides_type("presence")
+        assert sensor.profile.is_source
+
+
+class TestWLANDetector:
+    def test_scans_publish_location(self, network, guids, deployed_range, building):
+        server, _ = deployed_range
+        positions = {"bob": building.room_centroid("lobby")}
+        detector = WLANDetectorCE(guids.mint(), "host-a", network,
+                                  building.signal_map, lambda: positions,
+                                  scan_interval=5.0)
+        detector.start()
+        network.scheduler.run_for(30)
+        retained = server.mediator.retained_event("location", "geometric", "bob")
+        assert retained is not None
+        x, y = retained.value
+        assert building.room_centroid("lobby").distance_to(Point(x, y)) < 10.0
+
+    def test_out_of_coverage_not_published(self, network, guids, deployed_range,
+                                           building):
+        server, _ = deployed_range
+        positions = {"bob": Point(-500, -500)}
+        detector = WLANDetectorCE(guids.mint(), "host-a", network,
+                                  building.signal_map, lambda: positions,
+                                  scan_interval=5.0)
+        detector.start()
+        network.scheduler.run_for(30)
+        assert server.mediator.retained_event("location", "geometric", "bob") is None
+        assert detector.scans >= 4
+
+    def test_accuracy_attribute_attached(self, network, guids, deployed_range,
+                                         building):
+        server, _ = deployed_range
+        positions = {"bob": building.room_centroid("corridor")}
+        detector = WLANDetectorCE(guids.mint(), "host-a", network,
+                                  building.signal_map, lambda: positions)
+        detector.start()
+        network.scheduler.run_for(20)
+        retained = server.mediator.retained_event("location", "geometric", "bob")
+        assert retained.attributes["accuracy"] > 0
+
+    def test_crash_stops_scanning(self, network, guids, deployed_range, building):
+        detector = WLANDetectorCE(guids.mint(), "host-a", network,
+                                  building.signal_map, dict)
+        detector.start()
+        network.scheduler.run_for(12)
+        scans_before = detector.scans
+        detector.crash()
+        network.scheduler.run_for(30)
+        assert detector.scans == scans_before
+
+    def test_invalid_interval(self, network, guids, building):
+        with pytest.raises(ValueError):
+            WLANDetectorCE(guids.mint(), "host-a", network,
+                           building.signal_map, dict, scan_interval=0)
+
+
+class TestThermometer:
+    def test_periodic_readings(self, network, guids, deployed_range):
+        server, _ = deployed_range
+        thermo = TemperatureSensorCE(guids.mint(), "host-a", network,
+                                     room="L10.01", interval=10.0, seed=1)
+        thermo.start()
+        network.scheduler.run_for(45)
+        assert thermo.readings >= 4  # initial + 4 periodic ticks (approx)
+        retained = server.mediator.retained_event("temperature", "celsius",
+                                                  "L10.01")
+        assert retained is not None
+
+    def test_bounded_walk(self, network, guids, deployed_range):
+        thermo = TemperatureSensorCE(guids.mint(), "host-a", network,
+                                     room="x", baseline=20.0, interval=1.0,
+                                     seed=2)
+        thermo.start()
+        network.scheduler.run_for(300)
+        assert 15.0 < thermo.current < 25.0
+
+    def test_representation_configurable(self, network, guids, deployed_range):
+        server, _ = deployed_range
+        thermo = TemperatureSensorCE(guids.mint(), "host-a", network,
+                                     room="x", representation="fahrenheit")
+        thermo.start()
+        network.scheduler.run_for(15)
+        assert server.mediator.retained_event("temperature", "fahrenheit",
+                                              "x") is not None

@@ -1,0 +1,40 @@
+"""Subscription record semantics."""
+
+from repro.core.ids import GuidFactory
+from repro.events.filters import MatchAll
+from repro.events.subscription import Subscription
+
+GUIDS = GuidFactory(seed=51)
+
+
+class TestSubscription:
+    def test_ids_unique(self):
+        a = Subscription(GUIDS.mint())
+        b = Subscription(GUIDS.mint())
+        assert a.sub_id != b.sub_id
+
+    def test_durable_stays_active(self):
+        sub = Subscription(GUIDS.mint())
+        for _ in range(5):
+            sub.record_delivery()
+        assert sub.active
+        assert sub.delivered == 5
+
+    def test_one_time_deactivates_after_first(self):
+        sub = Subscription(GUIDS.mint(), one_time=True)
+        sub.record_delivery()
+        assert not sub.active
+        assert sub.delivered == 1
+
+    def test_default_filter_matches_all(self):
+        assert isinstance(Subscription(GUIDS.mint()).filter, MatchAll)
+
+    def test_owner_tagging(self):
+        sub = Subscription(GUIDS.mint(), owner="cfg-7")
+        assert sub.owner == "cfg-7"
+
+    def test_str_shows_mode(self):
+        durable = Subscription(GUIDS.mint())
+        once = Subscription(GUIDS.mint(), one_time=True)
+        assert "durable" in str(durable)
+        assert "one-time" in str(once)

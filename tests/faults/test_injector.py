@@ -1,0 +1,81 @@
+"""Fault injector: crashes, loss episodes, partitions, host outages."""
+
+import pytest
+
+from repro.core.types import TypeSpec
+from repro.entities.entity import ContextEntity
+from repro.entities.profile import Profile
+from repro.faults.injector import FaultInjector
+from repro.net.transport import FunctionProcess
+
+
+@pytest.fixture
+def injector(network):
+    return FaultInjector(network, seed=1)
+
+
+def make_ce(guids, network, name="victim"):
+    return ContextEntity(Profile(guids.mint(), name,
+                                 outputs=[TypeSpec("temperature", "celsius")]),
+                         "host-a", network)
+
+
+class TestCrashes:
+    def test_crash_detaches(self, network, guids, injector):
+        ce = make_ce(guids, network)
+        injector.crash(ce)
+        assert network.process(ce.guid) is None
+        assert injector.crashes == [ce.name]
+
+    def test_crash_random_is_deterministic(self, network, guids):
+        pool = [make_ce(guids, network, f"ce-{i}") for i in range(5)]
+        first = FaultInjector(network, seed=9).crash_random(pool)
+        # rebuild an identical pool on a fresh network
+        from repro.net.transport import FixedLatency, Network
+        from repro.core.ids import GuidFactory
+        net2 = Network(latency_model=FixedLatency(1.0), seed=42)
+        net2.add_host("host-a")
+        guids2 = GuidFactory(seed=7)
+        pool2 = [make_ce(guids2, net2, f"ce-{i}") for i in range(5)]
+        second = FaultInjector(net2, seed=9).crash_random(pool2)
+        assert first.name == second.name
+
+    def test_crash_random_skips_already_dead(self, network, guids, injector):
+        pool = [make_ce(guids, network, f"ce-{i}") for i in range(3)]
+        for _ in range(3):
+            assert injector.crash_random(pool) is not None
+        assert injector.crash_random(pool) is None  # all dead
+
+
+class TestNetworkDegradation:
+    def test_loss_episode_restores(self, network, injector):
+        injector.loss_episode(0.8, duration=10.0)
+        assert network.drop_rate == 0.8
+        network.scheduler.run_for(15)
+        assert network.drop_rate == 0.0
+
+    def test_invalid_loss_rate(self, injector):
+        with pytest.raises(ValueError):
+            injector.loss_episode(1.5, 10)
+
+    def test_partition_episode_heals(self, network, guids, injector):
+        inbox = []
+        a = FunctionProcess(guids.mint(), "host-a", network, lambda m: None)
+        b = FunctionProcess(guids.mint(), "host-b", network, inbox.append)
+        injector.partition_episode([["host-a"], ["host-b"]], duration=5.0)
+        a.send(b.guid, "during")
+        network.scheduler.run_for(10)
+        a.send(b.guid, "after")
+        network.scheduler.run_for(10)
+        assert [m.kind for m in inbox] == ["after"]
+
+    def test_host_outage_restores(self, network, guids, injector):
+        inbox = []
+        a = FunctionProcess(guids.mint(), "host-a", network, lambda m: None)
+        b = FunctionProcess(guids.mint(), "host-b", network, inbox.append)
+        injector.host_outage("host-b", duration=5.0)
+        a.send(b.guid, "during")
+        network.scheduler.run_for(10)
+        a.send(b.guid, "after")
+        network.scheduler.run_for(10)
+        assert [m.kind for m in inbox] == ["after"]

@@ -1,0 +1,96 @@
+"""Multi-range behaviour: SCINET forwarding, directory, grouping."""
+
+import pytest
+
+from repro import SCI
+from repro.core.api import SCIConfig
+from repro.query.model import QueryBuilder
+
+
+@pytest.fixture
+def two_ranges():
+    sci = SCI(config=SCIConfig(seed=9))
+    lobby = sci.create_range("lobby", places=["lobby", "L1"],
+                             stations=["ap-lobby"])
+    level10 = sci.create_range("level10", places=["L10"])
+    sci.add_door_sensors("level10",
+                         rooms=level10.definition.rooms(sci.building) + ["lobby"])
+    sci.add_printers("level10", {"P1": "L10.03"})
+    sci.run(5)
+    return sci, lobby, level10
+
+
+class TestDirectory:
+    def test_both_nodes_know_all_places(self, two_ranges):
+        sci, lobby, level10 = two_ranges
+        assert lobby.peer_lookup("L10.01") == level10.guid.hex
+        assert level10.peer_lookup("lobby") == lobby.guid.hex
+
+    def test_own_places_resolve_to_self(self, two_ranges):
+        sci, lobby, level10 = two_ranges
+        assert level10.peer_lookup("L10.01") == level10.guid.hex
+
+
+class TestForwarding:
+    def test_where_clause_forwarded(self, two_ranges):
+        sci, lobby, level10 = two_ranges
+        app = sci.create_application("app", host="cs-lobby")
+        sci.run(5)
+        assert app.range_name == "lobby"
+        query = (QueryBuilder("visitor").profiles_of_type("printer")
+                 .where("room:L10.03").build())
+        app.submit_query(query)
+        sci.run(10)
+        assert lobby.queries_forwarded == 1
+        assert app.query_acks[query.query_id]["status"] == "forwarded"
+        result = app.results[-1]
+        assert [p["name"] for p in result["profiles"]] == ["P1"]
+
+    def test_when_clause_forwarded(self, two_ranges):
+        sci, lobby, level10 = two_ranges
+        app = sci.create_application("app2", host="cs-lobby")
+        sci.run(5)
+        query = (QueryBuilder("bob").profiles_of_type("printer")
+                 .when("enters(bob, L10.01)").build())
+        app.submit_query(query)
+        sci.run(5)
+        assert lobby.queries_forwarded == 1
+        assert len(level10.parked_queries()) == 1
+
+    def test_local_query_not_forwarded(self, two_ranges):
+        sci, lobby, level10 = two_ranges
+        app = sci.create_application("app3", host="cs-level10")
+        sci.run(5)
+        query = (QueryBuilder("x").profiles_of_type("printer")
+                 .where("room:L10.03").build())
+        app.submit_query(query)
+        sci.run(10)
+        assert level10.queries_forwarded == 0
+        assert app.results[-1]["profiles"]
+
+    def test_forwarded_results_reach_original_caa(self, two_ranges):
+        """Section 5: results and events flow straight to the CAA even when
+        another range's CS executed the query."""
+        sci, lobby, level10 = two_ranges
+        app = sci.create_application("app4", host="cs-lobby")
+        sci.run(5)
+        query = (QueryBuilder("ops")
+                 .subscribe("location", "topological", subject="bob")
+                 .where("within(room:L10)").build())
+        app.submit_query(query)
+        sci.run(10)
+        # now bob appears and walks within level10
+        sci.add_person("bob", room="corridor")
+        sci.walk("bob", "L10.01")
+        sci.run(30)
+        values = [e.value for e in app.events_of_type("location")]
+        assert "L10.01" in values
+
+
+class TestGrouping:
+    def test_third_range_joins_group(self, two_ranges):
+        sci, lobby, level10 = two_ranges
+        level9 = sci.create_range("level9", places=["L1"])
+        sci.run(5)
+        assert sci.scinet.size() == 3
+        assert lobby.peer_lookup is not None

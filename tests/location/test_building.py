@@ -1,0 +1,99 @@
+"""Building model: cross-model lookups and the synthetic Livingstone Tower."""
+
+import pytest
+
+from repro.core.errors import LocationError
+from repro.location.building import BuildingModel, livingstone_tower
+from repro.location.geometry import Point, Rect
+
+
+@pytest.fixture
+def tower():
+    return livingstone_tower()
+
+
+class TestConstruction:
+    def test_duplicate_room_rejected(self, tower):
+        with pytest.raises(LocationError):
+            tower.add_room("L10.01", Rect(0, 0, 1, 1), "L10")
+
+    def test_unknown_floor_rejected(self, tower):
+        with pytest.raises(LocationError):
+            tower.add_room("x", Rect(0, 0, 1, 1), "L99")
+
+    def test_door_between_unknown_rooms_rejected(self, tower):
+        with pytest.raises(LocationError):
+            tower.add_door("L10.01", "narnia")
+
+    def test_door_default_position_is_midpoint(self):
+        b = BuildingModel("site", "bld")
+        b.add_floor("f")
+        b.add_room("r1", Rect(0, 0, 2, 2), "f")
+        b.add_room("r2", Rect(4, 0, 2, 2), "f")
+        door = b.add_door("r1", "r2")
+        assert b.door_position(door.door_id) == Point(3, 1)
+
+
+class TestLookups:
+    def test_room_at_point(self, tower):
+        assert tower.room_at(Point(14, 7)) == "L10.01"
+        assert tower.room_at(Point(-50, -50)) is None
+
+    def test_nearest_room_outside(self, tower):
+        assert tower.nearest_room(Point(10.5, 11)) in ("L10.01", "corridor", "lobby")
+
+    def test_centroid_inside_room(self, tower):
+        for spec in tower.rooms():
+            assert spec.shape.contains(tower.room_centroid(spec.name))
+
+    def test_hierarchy_mirrors_rooms(self, tower):
+        for name in tower.room_names():
+            assert tower.hierarchy.known(name)
+
+    def test_unknown_room_raises(self, tower):
+        with pytest.raises(LocationError):
+            tower.room("narnia")
+
+
+class TestRouting:
+    def test_route_via_corridor(self, tower):
+        rooms, cost = tower.route("L10.01", "L10.02")
+        assert rooms == ["L10.01", "corridor", "L10.02"]
+        assert cost > 0
+
+    def test_polyline_passes_door_positions(self, tower):
+        polyline = tower.route_polyline("L10.01", "L10.02")
+        assert tower.door_position("door:corridor--L10.01") in polyline
+        assert tower.door_position("door:corridor--L10.02") in polyline
+
+    def test_walking_distance_symmetric_shape(self, tower):
+        forward = tower.walking_distance("lobby", "L10.05")
+        backward = tower.walking_distance("L10.05", "lobby")
+        assert forward == pytest.approx(backward)
+
+    def test_locked_door_blocks_route(self, tower):
+        tower.topology.door("door:corridor--L10.05").lock({"facilities"})
+        assert tower.walking_distance("corridor", "L10.05",
+                                      entity_key="john") == float("inf")
+        assert tower.walking_distance("corridor", "L10.05",
+                                      entity_key="facilities") < float("inf")
+
+
+class TestLivingstoneTower:
+    def test_all_doors_sensed(self, tower):
+        assert all(door.sensor_id for door in tower.topology.doors())
+
+    def test_two_base_stations(self, tower):
+        assert len(tower.signal_map) == 2
+
+    def test_lobby_covered_by_its_station(self, tower):
+        assert tower.signal_map.station("ap-lobby").rssi_at(
+            tower.room_centroid("lobby")) is not None
+
+    def test_seven_rooms(self, tower):
+        assert len(tower.room_names()) == 7
+
+    def test_fully_connected(self, tower):
+        rooms = tower.room_names()
+        for target in rooms:
+            assert tower.walking_distance(rooms[0], target) < float("inf")

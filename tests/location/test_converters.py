@@ -1,0 +1,86 @@
+"""Location conversions registered into the ontology (Section 3.3)."""
+
+import pytest
+
+from repro.core.types import TypeSpec, standard_registry
+from repro.location.building import livingstone_tower
+from repro.location.converters import register_location_converters
+
+
+@pytest.fixture
+def setup():
+    building = livingstone_tower()
+    registry = register_location_converters(standard_registry(), building)
+    return building, registry
+
+
+def convert(registry, source_repr, target_repr, value):
+    chain = registry.conversion_path(TypeSpec("location", source_repr),
+                                     TypeSpec("location", target_repr))
+    assert chain is not None, f"no chain {source_repr} -> {target_repr}"
+    for converter in chain:
+        value = converter.apply(value)
+    return value
+
+
+class TestDirectConversions:
+    def test_geometric_to_topological(self, setup):
+        building, registry = setup
+        assert convert(registry, "geometric", "topological", (14.0, 7.0)) == "L10.01"
+
+    def test_topological_to_geometric_is_centroid(self, setup):
+        building, registry = setup
+        x, y = convert(registry, "topological", "geometric", "L10.02")
+        centroid = building.room_centroid("L10.02")
+        assert (x, y) == (centroid.x, centroid.y)
+
+    def test_topological_to_symbolic_full_path(self, setup):
+        building, registry = setup
+        assert convert(registry, "topological", "symbolic", "L10.01") == \
+            "strathclyde/livingstone/L10/L10.01"
+
+    def test_symbolic_to_topological_leaf(self, setup):
+        building, registry = setup
+        assert convert(registry, "symbolic", "topological",
+                       "strathclyde/livingstone/L10/L10.01") == "L10.01"
+
+    def test_signal_to_geometric(self, setup):
+        building, registry = setup
+        true = building.room_centroid("lobby")
+        observations = [(o.station_id, o.rssi_dbm)
+                        for o in building.signal_map.observe(true)]
+        x, y = convert(registry, "signal", "geometric", observations)
+        assert true.distance_to(type(true)(x, y)) < 10.0
+
+
+class TestChains:
+    def test_signal_to_symbolic_three_hops(self, setup):
+        _, registry = setup
+        chain = registry.conversion_path(TypeSpec("location", "signal"),
+                                         TypeSpec("location", "symbolic"))
+        assert [c.source_representation for c in chain] == [
+            "signal", "geometric", "topological"]
+
+    def test_round_trip_topological(self, setup):
+        _, registry = setup
+        room = "L10.03"
+        geo = convert(registry, "topological", "geometric", room)
+        back = convert(registry, "geometric", "topological", geo)
+        assert back == room
+
+    def test_round_trip_all_rooms(self, setup):
+        building, registry = setup
+        for room in building.room_names():
+            geo = convert(registry, "topological", "geometric", room)
+            assert convert(registry, "geometric", "topological", geo) == room
+
+    def test_fidelity_recorded(self, setup):
+        _, registry = setup
+        chain = registry.conversion_path(TypeSpec("location", "signal"),
+                                         TypeSpec("location", "geometric"))
+        assert chain[0].fidelity < 1.0  # signal estimation is lossy
+
+    def test_symbolic_validates_room(self, setup):
+        _, registry = setup
+        with pytest.raises(Exception):
+            convert(registry, "symbolic", "topological", "x/y/narnia")

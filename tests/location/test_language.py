@@ -1,0 +1,77 @@
+"""The intermediate location language: parsing, rendering, nesting."""
+
+import pytest
+
+from repro.core.errors import LocationError
+from repro.location.language import LocationExpr, parse_location
+
+
+class TestConstruction:
+    def test_kinds_validated(self):
+        with pytest.raises(LocationError):
+            LocationExpr("galaxy")
+
+    def test_near_needs_positive_radius(self):
+        with pytest.raises(LocationError):
+            LocationExpr.near(LocationExpr.room("x"), 0)
+
+    def test_references_owner(self):
+        assert LocationExpr.me().references_owner()
+        assert LocationExpr.near(LocationExpr.me(), 5).references_owner()
+        assert not LocationExpr.room("x").references_owner()
+
+    def test_constraint_free(self):
+        assert LocationExpr.anywhere().is_constraint_free
+        assert not LocationExpr.room("x").is_constraint_free
+
+
+class TestParsing:
+    @pytest.mark.parametrize("text,kind", [
+        ("anywhere", "anywhere"),
+        ("me", "me"),
+        ("room:L10.01", "room"),
+        ("entity:bob", "entity"),
+        ("point:1.5,2", "point"),
+        ("within(room:L10)", "within"),
+        ("near(entity:bob, 5)", "near"),
+        ("near(within(room:L10), 2.5)", "near"),
+    ])
+    def test_parses(self, text, kind):
+        assert parse_location(text).kind == kind
+
+    def test_room_name(self):
+        assert parse_location("room:L10.01").name == "L10.01"
+
+    def test_point_coordinates(self):
+        expr = parse_location("point:1.5,-2e1")
+        assert expr.point == (1.5, -20.0)
+
+    def test_near_radius(self):
+        assert parse_location("near(room:x, 7.5)").radius == 7.5
+
+    def test_nesting(self):
+        expr = parse_location("near(within(room:L10), 3)")
+        assert expr.inner.kind == "within"
+        assert expr.inner.inner.name == "L10"
+
+    def test_whitespace_tolerated(self):
+        assert parse_location("  near( entity:bob , 5 )  ").kind == "near"
+
+    @pytest.mark.parametrize("bad", [
+        "", "roomL10", "near(room:x)", "near(room:x, )", "point:1",
+        "within(room:x", "room:", "wherever", "near(room:x, 5) extra",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(LocationError):
+            parse_location(bad)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "anywhere", "me", "room:L10.01", "entity:bob", "point:1.5,2",
+        "within(room:L10)", "near(entity:bob, 5)",
+        "near(within(room:L10), 2.5)", "within(near(point:0,0, 10))",
+    ])
+    def test_str_parse_identity(self, text):
+        expr = parse_location(text)
+        assert parse_location(str(expr)) == expr

@@ -1,0 +1,88 @@
+"""Signal-strength model: path loss, coverage, position estimation."""
+
+import pytest
+
+from repro.core.errors import LocationError
+from repro.location.geometry import Point
+from repro.location.signalmap import BaseStation, SignalMap, SignalObservation
+
+
+@pytest.fixture
+def station():
+    return BaseStation("ap-1", Point(0, 0))
+
+
+@pytest.fixture
+def trio():
+    return SignalMap([
+        BaseStation("ap-a", Point(0, 0)),
+        BaseStation("ap-b", Point(20, 0)),
+        BaseStation("ap-c", Point(10, 20)),
+    ])
+
+
+class TestPathLoss:
+    def test_rssi_decreases_with_distance(self, station):
+        near = station.rssi_at(Point(1, 0))
+        far = station.rssi_at(Point(10, 0))
+        assert near > far
+
+    def test_out_of_range_is_none(self, station):
+        beyond = station.coverage_radius() * 2
+        assert station.rssi_at(Point(beyond, 0)) is None
+
+    def test_coverage_radius_consistent(self, station):
+        radius = station.coverage_radius()
+        assert station.rssi_at(Point(radius * 0.99, 0)) is not None
+        assert station.rssi_at(Point(radius * 1.01, 0)) is None
+
+    def test_noise_shifts_reading(self, station):
+        clean = station.rssi_at(Point(5, 0))
+        noisy = station.rssi_at(Point(5, 0), noise_db=3.0)
+        assert noisy == pytest.approx(clean + 3.0)
+
+
+class TestSignalMap:
+    def test_duplicate_station_rejected(self, trio):
+        with pytest.raises(LocationError):
+            trio.add_station(BaseStation("ap-a", Point(1, 1)))
+
+    def test_observe_hears_nearby_stations(self, trio):
+        observations = trio.observe(Point(10, 5))
+        assert len(observations) == 3
+
+    def test_in_coverage(self, trio):
+        assert trio.in_coverage(Point(10, 5))
+        assert not trio.in_coverage(Point(500, 500))
+
+    def test_estimate_recovers_position_roughly(self, trio):
+        true = Point(10, 5)
+        estimate = trio.estimate_position(trio.observe(true))
+        assert true.distance_to(estimate) < 10.0
+
+    def test_estimate_at_station_is_tight(self, trio):
+        true = Point(0.5, 0.0)  # nearly on ap-a
+        estimate = trio.estimate_position(trio.observe(true))
+        assert true.distance_to(estimate) < 3.0
+
+    def test_estimate_needs_observations(self, trio):
+        with pytest.raises(LocationError):
+            trio.estimate_position([])
+
+    def test_error_bound_positive(self, trio):
+        bound = trio.estimate_error_bound(trio.observe(Point(10, 5)))
+        assert bound > 0
+
+    def test_error_bound_needs_observations(self, trio):
+        with pytest.raises(LocationError):
+            trio.estimate_error_bound([])
+
+    def test_noise_determinism_by_seed(self):
+        def build():
+            m = SignalMap([BaseStation("ap", Point(0, 0))], noise_db=2.0, seed=5)
+            return [o.rssi_dbm for o in m.observe(Point(5, 5))]
+        assert build() == build()
+
+    def test_unknown_station_in_observation_rejected(self, trio):
+        with pytest.raises(LocationError):
+            trio.estimate_position([SignalObservation("ghost", -50.0)])

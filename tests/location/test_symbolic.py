@@ -1,0 +1,87 @@
+"""Symbolic hierarchy: containment, ancestry, symbolic distance."""
+
+import pytest
+
+from repro.core.errors import LocationError
+from repro.location.symbolic import SymbolicHierarchy
+
+
+@pytest.fixture
+def campus():
+    h = SymbolicHierarchy("campus")
+    h.add_place("tower", "campus")
+    h.add_place("L10", "tower")
+    h.add_place("L10.01", "L10")
+    h.add_place("L10.02", "L10")
+    h.add_place("L9", "tower")
+    h.add_place("L9.01", "L9")
+    return h
+
+
+class TestConstruction:
+    def test_duplicate_rejected(self, campus):
+        with pytest.raises(LocationError):
+            campus.add_place("L10", "tower")
+
+    def test_unknown_parent_rejected(self, campus):
+        with pytest.raises(LocationError):
+            campus.add_place("x", "nowhere")
+
+    def test_add_path_creates_chain(self):
+        h = SymbolicHierarchy("campus")
+        leaf = h.add_path("tower/L10/L10.01")
+        assert leaf == "L10.01"
+        assert h.parent("L10.01") == "L10"
+        assert h.parent("L10") == "tower"
+
+    def test_add_path_conflicting_parent_rejected(self, campus):
+        with pytest.raises(LocationError):
+            campus.add_path("L9/L10.01")  # L10.01 already under L10
+
+
+class TestQueries:
+    def test_ancestors_order(self, campus):
+        assert campus.ancestors("L10.01") == ["L10.01", "L10", "tower", "campus"]
+
+    def test_path_of(self, campus):
+        assert campus.path_of("L10.01") == "campus/tower/L10/L10.01"
+
+    def test_depth(self, campus):
+        assert campus.depth("campus") == 0
+        assert campus.depth("L10.01") == 3
+
+    def test_contains(self, campus):
+        assert campus.contains("L10", "L10.01")
+        assert campus.contains("tower", "L9.01")
+        assert campus.contains("L10.01", "L10.01")
+        assert not campus.contains("L10", "L9.01")
+
+    def test_common_ancestor(self, campus):
+        assert campus.common_ancestor("L10.01", "L10.02") == "L10"
+        assert campus.common_ancestor("L10.01", "L9.01") == "tower"
+        assert campus.common_ancestor("L10.01", "L10.01") == "L10.01"
+
+    def test_symbolic_distance(self, campus):
+        assert campus.symbolic_distance("L10.01", "L10.01") == 0
+        assert campus.symbolic_distance("L10.01", "L10.02") == 2
+        assert campus.symbolic_distance("L10.01", "L9.01") == 4
+
+    def test_same_floor_closer_than_cross_floor(self, campus):
+        same = campus.symbolic_distance("L10.01", "L10.02")
+        cross = campus.symbolic_distance("L10.01", "L9.01")
+        assert same < cross
+
+    def test_leaves(self, campus):
+        assert set(campus.leaves()) == {"L10.01", "L10.02", "L9.01"}
+
+    def test_descendants(self, campus):
+        assert set(campus.descendants("L10")) == {"L10.01", "L10.02"}
+        assert "L9.01" in campus.descendants("campus")
+
+    def test_unknown_place_raises(self, campus):
+        with pytest.raises(LocationError):
+            campus.ancestors("nowhere")
+
+    def test_contains_protocol(self, campus):
+        assert "L10" in campus
+        assert "LX" not in campus

@@ -1,0 +1,114 @@
+"""Topology model: doors, access control, shortest paths."""
+
+import pytest
+
+from repro.core.errors import LocationError
+from repro.location.topology import Door, Topology
+
+
+@pytest.fixture
+def floor():
+    topo = Topology()
+    topo.connect("a", "corridor", length=2.0)
+    topo.connect("b", "corridor", length=2.0)
+    topo.connect("corridor", "store", door_id="store-door", length=1.0)
+    return topo
+
+
+class TestDoors:
+    def test_other_side(self):
+        door = Door("d", "x", "y")
+        assert door.other_side("x") == "y"
+        assert door.other_side("y") == "x"
+        with pytest.raises(LocationError):
+            door.other_side("z")
+
+    def test_public_door_allows_everyone(self):
+        assert Door("d", "x", "y").allows("anyone")
+
+    def test_lock_and_unlock(self):
+        door = Door("d", "x", "y")
+        door.lock({"staff"})
+        assert door.allows("staff")
+        assert not door.allows("student")
+        door.unlock()
+        assert door.allows("student")
+
+    def test_duplicate_door_rejected(self, floor):
+        with pytest.raises(LocationError):
+            floor.add_door(Door("store-door", "a", "b"))
+
+    def test_non_positive_length_rejected(self):
+        topo = Topology()
+        with pytest.raises(LocationError):
+            topo.add_door(Door("d", "x", "y", length=0))
+
+
+class TestPaths:
+    def test_shortest_path(self, floor):
+        path, cost = floor.shortest_path("a", "b")
+        assert path == ["a", "corridor", "b"]
+        assert cost == pytest.approx(4.0)
+
+    def test_trivial_path(self, floor):
+        path, cost = floor.shortest_path("a", "a")
+        assert path == ["a"]
+        assert cost == 0.0
+
+    def test_no_route_raises(self, floor):
+        floor.add_place("island")
+        with pytest.raises(LocationError):
+            floor.shortest_path("a", "island")
+
+    def test_distance_inf_when_unreachable(self, floor):
+        floor.add_place("island")
+        assert floor.distance("a", "island") == float("inf")
+
+    def test_parallel_doors_cheapest_wins(self):
+        topo = Topology()
+        topo.add_door(Door("long", "x", "y", length=10.0))
+        topo.add_door(Door("short", "x", "y", length=1.0))
+        _, cost = topo.shortest_path("x", "y")
+        assert cost == 1.0
+
+    def test_path_doors_picks_traversed_doors(self, floor):
+        path, _ = floor.shortest_path("a", "store")
+        doors = floor.path_doors(path)
+        assert [d.door_id for d in doors] == ["door:a--corridor", "store-door"]
+
+
+class TestAccessControl:
+    def test_locked_door_blocks_entity(self, floor):
+        floor.door("store-door").lock({"facilities"})
+        assert not floor.reachable("a", "store", entity_key="john")
+        assert floor.reachable("a", "store", entity_key="facilities")
+
+    def test_locked_door_forces_detour(self):
+        topo = Topology()
+        topo.add_door(Door("direct", "x", "y", length=1.0))
+        topo.add_door(Door("via-1", "x", "z", length=5.0))
+        topo.add_door(Door("via-2", "z", "y", length=5.0))
+        topo.door("direct").lock({"vip"})
+        _, cost_vip = topo.shortest_path("x", "y", entity_key="vip")
+        _, cost_pleb = topo.shortest_path("x", "y", entity_key="pleb")
+        assert cost_vip == 1.0
+        assert cost_pleb == 10.0
+
+    def test_neighbours_respect_access(self, floor):
+        floor.door("store-door").lock({"facilities"})
+        assert "store" not in floor.neighbours("corridor", entity_key="john")
+        assert "store" in floor.neighbours("corridor", entity_key="facilities")
+
+    def test_no_entity_key_ignores_locks(self, floor):
+        floor.door("store-door").lock({"facilities"})
+        assert floor.reachable("a", "store")  # infrastructure view
+
+
+class TestQueries:
+    def test_unknown_place_raises(self, floor):
+        with pytest.raises(LocationError):
+            floor.shortest_path("a", "nowhere")
+
+    def test_doors_of(self, floor):
+        assert {d.door_id for d in floor.doors_of("corridor")} == {
+            "door:a--corridor", "door:b--corridor", "store-door"}

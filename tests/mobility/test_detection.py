@@ -1,0 +1,82 @@
+"""Boundary monitor: admission, expulsion, W-LAN-bounded ranges."""
+
+import pytest
+
+from repro import SCI
+from repro.core.api import SCIConfig
+
+
+@pytest.fixture
+def deployment():
+    sci = SCI(config=SCIConfig(seed=4))
+    sci.create_range("lobby", places=["lobby"], stations=["ap-lobby"])
+    sci.create_range("level10", places=["L10"])
+    sci.add_person("bob", room=None, device_host="bob-pda")
+    app = sci.create_application("app:bob", host="bob-pda", owner="bob")
+    sci.start_boundary_monitor()
+    sci.run(5)
+    return sci, app
+
+
+class TestAdmission:
+    def test_outside_no_registration(self, deployment):
+        sci, app = deployment
+        assert not app.registered
+
+    def test_entering_lobby_registers(self, deployment):
+        sci, app = deployment
+        sci.teleport("bob", "lobby")
+        sci.run(10)
+        assert app.registered
+        assert app.range_name == "lobby"
+
+    def test_moving_to_level10_switches_range(self, deployment):
+        sci, app = deployment
+        sci.teleport("bob", "lobby")
+        sci.run(10)
+        sci.teleport("bob", "L10.01")
+        sci.run(10)
+        assert app.registered
+        assert app.range_name == "level10"
+        lobby = sci.range("lobby")
+        assert not lobby.registrar.registered(app.guid.hex)
+
+    def test_leaving_all_ranges_deregisters(self, deployment):
+        sci, app = deployment
+        sci.teleport("bob", "lobby")
+        sci.run(10)
+        # walk out of the building: outdoor position
+        sci.world.teleport("bob", "lobby")
+        sci.world.entity("bob").room = ""
+        from repro.location.geometry import Point
+        sci.world.entity("bob").position = Point(-500, -500)
+        sci.run(10)
+        assert not app.registered
+
+    def test_transition_counted(self, deployment):
+        sci, app = deployment
+        monitor = sci.start_boundary_monitor()
+        sci.teleport("bob", "lobby")
+        sci.run(10)
+        sci.teleport("bob", "L10.01")
+        sci.run(10)
+        assert monitor.transitions >= 2
+        assert monitor.range_of("bob") == "level10"
+
+    def test_tag_only_entities_ignored_by_monitor(self, deployment):
+        sci, _ = deployment
+        monitor = sci.start_boundary_monitor()
+        sci.add_person("walker", room="lobby")  # no device
+        before = monitor.transitions
+        sci.run(10)
+        assert monitor.transitions == before
+
+
+class TestScanValidation:
+    def test_invalid_interval_rejected(self, building):
+        from repro.mobility.detection import BoundaryMonitor
+        from repro.mobility.world import World
+        from repro.net.sim import Scheduler
+        world = World(building, Scheduler())
+        with pytest.raises(ValueError):
+            BoundaryMonitor(world, [], scan_interval=0)

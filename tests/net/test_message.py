@@ -1,0 +1,35 @@
+"""Message semantics: ids, correlation, rendering."""
+
+from repro.core.ids import GuidFactory
+from repro.net.message import BROADCAST, Message
+
+GUIDS = GuidFactory(seed=41)
+
+
+class TestMessage:
+    def test_ids_monotonic(self):
+        a = Message(GUIDS.mint(), GUIDS.mint(), "x")
+        b = Message(GUIDS.mint(), GUIDS.mint(), "x")
+        assert b.msg_id > a.msg_id
+
+    def test_response_correlates(self):
+        sender, receiver = GUIDS.mint(), GUIDS.mint()
+        original = Message(sender, receiver, "ask", {"q": 1})
+        reply = original.response(receiver, "answer", {"a": 2})
+        assert reply.reply_to == original.msg_id
+        assert reply.recipient == sender
+        assert reply.sender == receiver
+        assert reply.payload == {"a": 2}
+
+    def test_response_default_payload(self):
+        original = Message(GUIDS.mint(), GUIDS.mint(), "ask")
+        assert original.response(GUIDS.mint(), "ok").payload == {}
+
+    def test_str_shows_kind_and_correlation(self):
+        original = Message(GUIDS.mint(), GUIDS.mint(), "ask")
+        reply = original.response(GUIDS.mint(), "answer")
+        assert "[ask]" in str(original)
+        assert f"re:{original.msg_id}" in str(reply)
+
+    def test_broadcast_sentinel_is_max_guid(self):
+        assert BROADCAST.value == (1 << 128) - 1

@@ -1,0 +1,67 @@
+"""Traffic statistics and summary helpers."""
+
+import pytest
+
+from repro.net.stats import MessageStats, percentile, summarize
+
+
+class TestMessageStats:
+    def test_hotspot_ratio_balanced(self):
+        stats = MessageStats()
+        for host in ("a", "b", "c"):
+            stats.record_delivery(host, 1.0)
+        assert stats.hotspot_ratio() == pytest.approx(1.0)
+
+    def test_hotspot_ratio_skewed(self):
+        stats = MessageStats()
+        for _ in range(9):
+            stats.record_delivery("root", 1.0)
+        stats.record_delivery("leaf", 1.0)
+        assert stats.hotspot_ratio() == pytest.approx(9 / 5)
+
+    def test_reset_clears_everything(self):
+        stats = MessageStats()
+        stats.record_send("x")
+        stats.record_delivery("a", 1.0)
+        stats.record_drop()
+        stats.reset()
+        assert stats.sent == stats.delivered == stats.dropped == 0
+        assert not stats.latencies and not stats.host_load
+
+    def test_empty_ratios_are_zero(self):
+        stats = MessageStats()
+        assert stats.hotspot_ratio() == 0.0
+        assert stats.mean_host_load == 0.0
+
+
+class TestPercentile:
+    def test_median_of_odd(self):
+        assert percentile([3, 1, 2], 0.5) == 2
+
+    def test_p95_near_top(self):
+        samples = list(range(1, 101))
+        assert percentile(samples, 0.95) == 95
+
+    def test_extremes(self):
+        samples = [5, 1, 9]
+        assert percentile(samples, 0.0) == 1
+        assert percentile(samples, 1.0) == 9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["max"] == 4.0
+
+    def test_empty_summary(self):
+        assert summarize([])["count"] == 0

@@ -1,0 +1,94 @@
+"""DHT behaviour under membership churn.
+
+The range directory's DHT face is unreplicated by design (the synchronous
+peer lookup uses the replicated broadcast cache instead); these tests pin
+down the exact semantics: puts land on the responsible node, gets route to
+the same node from anywhere, responsibility migrates with membership, and a
+failed owner loses its keys (found=False, never a stale answer).
+"""
+
+import pytest
+
+from repro.core.ids import GUID
+from repro.net.transport import FixedLatency, Network
+from repro.overlay.scinet import SCINet
+
+
+@pytest.fixture
+def mesh():
+    net = Network(latency_model=FixedLatency(1.0), seed=71)
+    sci = SCINet(net)
+    nodes = [sci.create_node(f"h{i}", range_name=f"r{i}") for i in range(12)]
+    return net, sci, nodes
+
+
+def dht_get(net, node, name):
+    result = {}
+
+    def on_delivery(kind, body, hops):
+        if kind == "dht-result" and body["name"] == name:
+            result.update(body)
+
+    node.on_delivery.append(on_delivery)
+    node.dht_get(name)
+    net.scheduler.run_for(40)
+    node.on_delivery.remove(on_delivery)
+    return result
+
+
+class TestDHT:
+    def test_put_lands_on_responsible_node(self, mesh):
+        net, sci, nodes = mesh
+        nodes[0].dht_put("range:level10", {"cs": "abc"})
+        net.scheduler.run_for(40)
+        owner = sci.closest_node(GUID.from_name("range:level10"))
+        assert owner.store["range:level10"] == {"cs": "abc"}
+
+    def test_gets_from_every_node_agree(self, mesh):
+        net, sci, nodes = mesh
+        nodes[3].dht_put("key-x", 42)
+        net.scheduler.run_for(40)
+        for node in nodes[::3]:
+            result = dht_get(net, node, "key-x")
+            assert result.get("found") is True
+            assert result.get("value") == 42
+
+    def test_overwrite_is_last_writer_wins(self, mesh):
+        net, sci, nodes = mesh
+        nodes[0].dht_put("key-y", "first")
+        net.scheduler.run_for(40)
+        nodes[5].dht_put("key-y", "second")
+        net.scheduler.run_for(40)
+        assert dht_get(net, nodes[2], "key-y")["value"] == "second"
+
+    def test_owner_failure_loses_key_cleanly(self, mesh):
+        net, sci, nodes = mesh
+        nodes[0].dht_put("key-z", "precious")
+        net.scheduler.run_for(40)
+        owner = sci.closest_node(GUID.from_name("key-z"))
+        sci.fail(owner.guid.hex)
+        survivor = next(node for node in nodes
+                        if node.guid != owner.guid)
+        result = dht_get(net, survivor, "key-z")
+        assert result.get("found") is False  # lost, never stale
+
+    def test_responsibility_migrates_for_new_puts(self, mesh):
+        net, sci, nodes = mesh
+        key_guid = GUID.from_name("key-w")
+        old_owner = sci.closest_node(key_guid)
+        sci.fail(old_owner.guid.hex)
+        survivor = next(node for node in nodes
+                        if node.guid != old_owner.guid)
+        survivor.dht_put("key-w", "rehomed")
+        net.scheduler.run_for(40)
+        new_owner = sci.closest_node(key_guid)
+        assert new_owner.store["key-w"] == "rehomed"
+        assert dht_get(net, survivor, "key-w")["found"] is True
+
+    def test_distinct_keys_distribute(self, mesh):
+        net, sci, nodes = mesh
+        for index in range(24):
+            nodes[index % len(nodes)].dht_put(f"place:{index}", index)
+        net.scheduler.run_for(120)
+        holders = sum(1 for node in sci.nodes() if node.store)
+        assert holders >= 4  # keys spread over the membership

@@ -1,0 +1,109 @@
+"""Hierarchical comparator: tree routing, root concentration, queueing."""
+
+import pytest
+
+from repro.core.errors import RoutingError
+from repro.net.transport import FixedLatency, Network
+from repro.overlay.hierarchy import HierarchyNetwork
+
+
+@pytest.fixture
+def tree():
+    net = Network(latency_model=FixedLatency(1.0), seed=6)
+    return net, HierarchyNetwork(net, leaf_count=16, branching=4,
+                                 service_time=0.0)
+
+
+class TestConstruction:
+    def test_node_count(self, tree):
+        _, hierarchy = tree
+        # 16 leaves + 4 interior + 1 root
+        assert hierarchy.size() == 21
+
+    def test_single_leaf_is_root(self):
+        net = Network(seed=0)
+        hierarchy = HierarchyNetwork(net, leaf_count=1)
+        assert hierarchy.size() == 1
+        assert hierarchy.root is hierarchy.leaf(0)
+
+    def test_invalid_params(self):
+        net = Network(seed=0)
+        with pytest.raises(RoutingError):
+            HierarchyNetwork(net, leaf_count=0)
+        with pytest.raises(RoutingError):
+            HierarchyNetwork(net, leaf_count=4, branching=1)
+
+
+class TestRouting:
+    def test_cross_subtree_delivery(self, tree):
+        net, hierarchy = tree
+        received = []
+        hierarchy.leaf(15).on_delivery.append(
+            lambda kind, body, hops: received.append((kind, hops)))
+        hierarchy.leaf(0).route("leaf-15", "probe", {"x": 1})
+        net.scheduler.run_until_idle()
+        assert received == [("probe", 4)]  # up 2, down 2
+
+    def test_same_subtree_shorter(self, tree):
+        net, hierarchy = tree
+        received = []
+        hierarchy.leaf(1).on_delivery.append(
+            lambda kind, body, hops: received.append(hops))
+        hierarchy.leaf(0).route("leaf-1", "probe", {})
+        net.scheduler.run_until_idle()
+        assert received == [2]  # up 1, down 1
+
+    def test_self_delivery_zero_hops(self, tree):
+        net, hierarchy = tree
+        received = []
+        hierarchy.leaf(0).on_delivery.append(
+            lambda kind, body, hops: received.append(hops))
+        hierarchy.leaf(0).route("leaf-0", "probe", {})
+        net.scheduler.run_until_idle()
+        assert received == [0]
+
+    def test_cross_traffic_transits_root(self, tree):
+        net, hierarchy = tree
+        for source in range(4):
+            hierarchy.leaf(source).route("leaf-15", "probe", {})
+        net.scheduler.run_until_idle()
+        assert hierarchy.root_load() == 4
+
+    def test_local_traffic_avoids_root(self, tree):
+        net, hierarchy = tree
+        hierarchy.leaf(0).route("leaf-1", "probe", {})
+        net.scheduler.run_until_idle()
+        assert hierarchy.root_load() == 0
+
+
+class TestQueueing:
+    def test_service_time_builds_queue_delay(self):
+        net = Network(latency_model=FixedLatency(0.1), seed=7)
+        hierarchy = HierarchyNetwork(net, leaf_count=16, branching=4,
+                                     service_time=1.0)
+        # a burst of cross-subtree messages all transit the root at once
+        for source in range(8):
+            hierarchy.leaf(source).route("leaf-15", "probe", {})
+        net.scheduler.run_until_idle()
+        assert hierarchy.root.max_queue_delay > 0.0
+
+    def test_no_service_time_no_queue(self, tree):
+        net, hierarchy = tree
+        for source in range(8):
+            hierarchy.leaf(source).route("leaf-15", "probe", {})
+        net.scheduler.run_until_idle()
+        assert hierarchy.root.max_queue_delay == 0.0
+
+    def test_root_is_hotspot_under_uniform_traffic(self):
+        net = Network(latency_model=FixedLatency(0.1), seed=8)
+        hierarchy = HierarchyNetwork(net, leaf_count=16, branching=4)
+        import random
+        rng = random.Random(0)
+        for _ in range(100):
+            src, dst = rng.randrange(16), rng.randrange(16)
+            hierarchy.leaf(src).route(f"leaf-{dst}", "probe", {})
+        net.scheduler.run_until_idle()
+        loads = hierarchy.load_by_node()
+        interior_max = max(load for label, load in loads.items()
+                           if label.startswith("int") or label == hierarchy.root.label)
+        assert loads[hierarchy.root.label] == interior_max

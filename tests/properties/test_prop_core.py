@@ -1,0 +1,78 @@
+"""Property-based tests: GUID arithmetic and the type registry."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ids import GUID, GUID_BITS, GUID_DIGITS
+from repro.core.types import TypeRegistry, TypeSpec
+
+guid_values = st.integers(min_value=0, max_value=(1 << GUID_BITS) - 1)
+
+
+class TestGUIDProperties:
+    @given(guid_values)
+    def test_hex_round_trip(self, value):
+        guid = GUID(value)
+        assert GUID.from_hex(guid.hex) == guid
+
+    @given(guid_values, guid_values)
+    def test_shared_prefix_symmetric(self, a, b):
+        assert GUID(a).shared_prefix_len(GUID(b)) == \
+            GUID(b).shared_prefix_len(GUID(a))
+
+    @given(guid_values, guid_values)
+    def test_shared_prefix_agrees_with_hex(self, a, b):
+        ga, gb = GUID(a), GUID(b)
+        computed = ga.shared_prefix_len(gb)
+        hex_a, hex_b = ga.hex, gb.hex
+        expected = 0
+        while expected < GUID_DIGITS and hex_a[expected] == hex_b[expected]:
+            expected += 1
+        assert computed == expected
+
+    @given(guid_values, guid_values)
+    def test_distance_symmetric_and_bounded(self, a, b):
+        ga, gb = GUID(a), GUID(b)
+        assert ga.distance(gb) == gb.distance(ga)
+        assert 0 <= ga.distance(gb) <= (1 << GUID_BITS) // 2
+
+    @given(guid_values, guid_values, guid_values)
+    def test_distance_triangle_inequality(self, a, b, c):
+        ga, gb, gc = GUID(a), GUID(b), GUID(c)
+        assert ga.distance(gc) <= ga.distance(gb) + gb.distance(gc)
+
+    @given(guid_values)
+    def test_distance_to_self_zero(self, a):
+        assert GUID(a).distance(GUID(a)) == 0
+
+
+names = st.sampled_from(["location", "temperature", "path", "presence"])
+representations = st.sampled_from(["a", "b", "c", "d", "any"])
+
+
+class TestRegistryProperties:
+    @given(names, representations, representations)
+    @settings(max_examples=50)
+    def test_direct_match_reflexive(self, type_name, rep_a, rep_b):
+        registry = TypeRegistry()
+        registry.define(type_name)
+        spec = TypeSpec(type_name, rep_a)
+        assert registry.conversion_path(spec, spec) == []
+
+    @given(names, st.lists(st.tuples(representations, representations),
+                           min_size=0, max_size=6))
+    @settings(max_examples=50)
+    def test_conversion_path_connects_endpoints(self, type_name, edges):
+        registry = TypeRegistry()
+        registry.define(type_name)
+        for source, target in edges:
+            if source != target and "any" not in (source, target):
+                registry.add_converter(type_name, source, target, lambda v: v)
+        wanted = TypeSpec(type_name, "d")
+        offered = TypeSpec(type_name, "a")
+        path = registry.conversion_path(offered, wanted)
+        if path is not None and path:
+            assert path[0].source_representation == "a"
+            assert path[-1].target_representation == "d"
+            for first, second in zip(path, path[1:]):
+                assert first.target_representation == second.source_representation

@@ -1,0 +1,114 @@
+"""Property-based location invariants: geometry, hierarchy, conversions."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.location.building import livingstone_tower
+from repro.location.geometry import Point, Rect
+from repro.location.symbolic import SymbolicHierarchy
+
+coords = st.floats(min_value=-100, max_value=100,
+                   allow_nan=False, allow_infinity=False)
+sizes = st.floats(min_value=0.1, max_value=50,
+                  allow_nan=False, allow_infinity=False)
+
+BUILDING = livingstone_tower()
+
+
+class TestGeometryProperties:
+    @given(coords, coords, sizes, sizes)
+    def test_rect_contains_own_centroid(self, x, y, w, h):
+        rect = Rect(x, y, w, h)
+        assert rect.contains(rect.centroid())
+
+    @given(coords, coords, sizes, sizes, coords, coords)
+    def test_contains_implies_zero_distance(self, x, y, w, h, px, py):
+        rect = Rect(x, y, w, h)
+        point = Point(px, py)
+        if rect.contains(point):
+            assert rect.distance_to_point(point) == 0.0
+        else:
+            assert rect.distance_to_point(point) > 0.0
+
+    @given(coords, coords, coords, coords)
+    def test_distance_symmetric(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(coords, coords)
+    def test_room_at_consistent_with_nearest(self, x, y):
+        point = Point(x, y)
+        containing = BUILDING.room_at(point)
+        nearest = BUILDING.nearest_room(point)
+        if containing is not None:
+            assert nearest == containing
+
+
+@st.composite
+def hierarchies(draw):
+    h = SymbolicHierarchy("root")
+    names = [f"p{i}" for i in range(draw(st.integers(1, 15)))]
+    for name in names:
+        parent = draw(st.sampled_from(["root"] + h.all_places()))
+        h.add_place(name, parent)
+    return h
+
+
+class TestHierarchyProperties:
+    @given(hierarchies(), st.data())
+    @settings(max_examples=100)
+    def test_ancestors_end_at_root(self, hierarchy, data):
+        place = data.draw(st.sampled_from(hierarchy.all_places()))
+        chain = hierarchy.ancestors(place)
+        assert chain[0] == place
+        assert chain[-1] == "root"
+
+    @given(hierarchies(), st.data())
+    @settings(max_examples=100)
+    def test_symbolic_distance_is_metric_like(self, hierarchy, data):
+        places = hierarchy.all_places()
+        a = data.draw(st.sampled_from(places))
+        b = data.draw(st.sampled_from(places))
+        assert hierarchy.symbolic_distance(a, a) == 0
+        assert hierarchy.symbolic_distance(a, b) == \
+            hierarchy.symbolic_distance(b, a)
+        assert hierarchy.symbolic_distance(a, b) >= 0
+
+    @given(hierarchies(), st.data())
+    @settings(max_examples=100)
+    def test_contains_iff_in_ancestors(self, hierarchy, data):
+        places = hierarchy.all_places()
+        outer = data.draw(st.sampled_from(places))
+        inner = data.draw(st.sampled_from(places))
+        assert hierarchy.contains(outer, inner) == \
+            (outer in hierarchy.ancestors(inner))
+
+    @given(hierarchies(), st.data())
+    @settings(max_examples=100)
+    def test_common_ancestor_contains_both(self, hierarchy, data):
+        places = hierarchy.all_places()
+        a = data.draw(st.sampled_from(places))
+        b = data.draw(st.sampled_from(places))
+        ancestor = hierarchy.common_ancestor(a, b)
+        assert hierarchy.contains(ancestor, a)
+        assert hierarchy.contains(ancestor, b)
+
+
+class TestConversionProperties:
+    @given(st.sampled_from(BUILDING.room_names()))
+    def test_topological_geometric_round_trip(self, room):
+        from repro.core.types import TypeSpec, standard_registry
+        from repro.location.converters import register_location_converters
+        registry = register_location_converters(standard_registry(), BUILDING)
+
+        def run(source, target, value):
+            chain = registry.conversion_path(TypeSpec("location", source),
+                                             TypeSpec("location", target))
+            for converter in chain:
+                value = converter.apply(value)
+            return value
+
+        geo = run("topological", "geometric", room)
+        assert run("geometric", "topological", geo) == room
+        symbolic = run("topological", "symbolic", room)
+        assert run("symbolic", "topological", symbolic) == room

@@ -1,0 +1,131 @@
+"""Property-based resolver invariants over random profile pools."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import NoProviderError
+from repro.core.ids import GuidFactory
+from repro.core.types import TypeRegistry, TypeSpec
+from repro.composition.resolver import QueryResolver
+from repro.entities.profile import EntityClass, Profile
+
+TYPE_NAMES = ["alpha", "beta", "gamma"]
+REPRESENTATIONS = ["r1", "r2", "r3"]
+
+
+def build_registry(converter_edges):
+    registry = TypeRegistry()
+    for name in TYPE_NAMES:
+        registry.define(name)
+    for type_name, source, target in converter_edges:
+        if source != target:
+            registry.add_converter(type_name, source, target, lambda v: v)
+    return registry
+
+
+@st.composite
+def pools(draw):
+    """A random world: sensor profiles, optional derived profiles, converters."""
+    guids = GuidFactory(seed=draw(st.integers(0, 1000)))
+    profiles = []
+    for index in range(draw(st.integers(1, 8))):
+        type_name = draw(st.sampled_from(TYPE_NAMES))
+        representation = draw(st.sampled_from(REPRESENTATIONS))
+        profiles.append(Profile(
+            guids.mint(), f"sensor-{index}", EntityClass.DEVICE,
+            outputs=[TypeSpec(type_name, representation)]))
+    for index in range(draw(st.integers(0, 3))):
+        in_type = draw(st.sampled_from(TYPE_NAMES))
+        out_type = draw(st.sampled_from(TYPE_NAMES))
+        if in_type == out_type:
+            continue  # avoid trivial self-loops in the type graph
+        profiles.append(Profile(
+            guids.mint(), f"derived-{index}", EntityClass.SOFTWARE,
+            outputs=[TypeSpec(out_type, draw(st.sampled_from(REPRESENTATIONS)))],
+            inputs=[TypeSpec(in_type, draw(st.sampled_from(REPRESENTATIONS)))]))
+    edges = draw(st.lists(
+        st.tuples(st.sampled_from(TYPE_NAMES),
+                  st.sampled_from(REPRESENTATIONS),
+                  st.sampled_from(REPRESENTATIONS)),
+        max_size=5))
+    return profiles, edges
+
+
+@st.composite
+def wanted_specs(draw):
+    return TypeSpec(draw(st.sampled_from(TYPE_NAMES)),
+                    draw(st.sampled_from(REPRESENTATIONS + ["any"])))
+
+
+class TestResolverProperties:
+    @given(pools(), wanted_specs())
+    @settings(max_examples=150, deadline=None)
+    def test_plans_validate_and_satisfy(self, pool, wanted):
+        profiles, edges = pool
+        registry = build_registry(edges)
+        resolver = QueryResolver(registry, live_profiles=lambda: profiles)
+        try:
+            plan = resolver.resolve(wanted)
+        except NoProviderError:
+            return
+        plan.validate()  # DAG, rooted, sources at leaves
+        assert registry.satisfies(plan.output_spec, wanted)
+        # every source node is a sensor-level profile (no event inputs)
+        for key in plan.source_keys():
+            node = plan.nodes[key]
+            if node.kind == "live":
+                assert not node.profile.inputs
+
+    @given(pools(), wanted_specs())
+    @settings(max_examples=100, deadline=None)
+    def test_resolution_deterministic(self, pool, wanted):
+        profiles, edges = pool
+        registry = build_registry(edges)
+        resolver = QueryResolver(registry, live_profiles=lambda: profiles)
+
+        def structure():
+            try:
+                plan = resolver.resolve(wanted)
+            except NoProviderError:
+                return None
+            return sorted((edge.producer.split(":", 1)[0],
+                           plan.nodes[edge.producer].profile.name,
+                           plan.nodes[edge.consumer].profile.name,
+                           str(edge.spec)) for edge in plan.edges), \
+                plan.nodes[plan.output_key].profile.name
+
+        assert structure() == structure()
+
+    @given(pools(), wanted_specs(), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_exclusion_is_respected(self, pool, wanted, data):
+        profiles, edges = pool
+        registry = build_registry(edges)
+        resolver = QueryResolver(registry, live_profiles=lambda: profiles)
+        try:
+            plan = resolver.resolve(wanted)
+        except NoProviderError:
+            return
+        live_hexes = plan.live_entity_hexes()
+        if not live_hexes:
+            return
+        excluded = data.draw(st.sampled_from(live_hexes))
+        try:
+            replanned = resolver.resolve(wanted,
+                                         exclude=frozenset({excluded}))
+        except NoProviderError:
+            return  # no alternative exists: acceptable
+        assert excluded not in replanned.live_entity_hexes()
+
+    @given(pools())
+    @settings(max_examples=50, deadline=None)
+    def test_unknown_type_always_fails(self, pool):
+        profiles, edges = pool
+        registry = build_registry(edges)
+        registry.define("never-produced")
+        resolver = QueryResolver(registry, live_profiles=lambda: profiles)
+        try:
+            resolver.resolve(TypeSpec("never-produced", "any"))
+            assert False, "nothing produces this type"
+        except NoProviderError:
+            pass

@@ -1,0 +1,79 @@
+"""When clauses: triggers, expiry, text round-trips."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.query.temporal import WhenClause
+
+
+class TestConstruction:
+    def test_now_immediate(self):
+        assert WhenClause.now().immediate
+
+    def test_at_requires_time(self):
+        with pytest.raises(QueryError):
+            WhenClause("at")
+
+    def test_enters_requires_operands(self):
+        with pytest.raises(QueryError):
+            WhenClause("enters", entity="bob")
+
+    def test_negative_after_rejected(self):
+        with pytest.raises(QueryError):
+            WhenClause.after(-5)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(QueryError):
+            WhenClause("someday")
+
+
+class TestTriggers:
+    def test_now_triggers_at_submission(self):
+        assert WhenClause.now().trigger_time(10.0) == 10.0
+
+    def test_at_absolute(self):
+        assert WhenClause.at(50.0).trigger_time(10.0) == 50.0
+
+    def test_after_relative(self):
+        assert WhenClause.after(5.0).trigger_time(10.0) == 15.0
+
+    def test_enters_has_no_time(self):
+        when = WhenClause.when_enters("bob", "L10.01")
+        assert when.trigger_time(10.0) is None
+
+    def test_matches_entry(self):
+        when = WhenClause.when_enters("bob", "L10.01")
+        assert when.matches_entry("bob", "L10.01")
+        assert not when.matches_entry("bob", "L10.02")
+        assert not when.matches_entry("john", "L10.01")
+        assert not WhenClause.now().matches_entry("bob", "L10.01")
+
+
+class TestExpiry:
+    def test_no_expiry_never_expires(self):
+        assert not WhenClause.now().expired(1e9)
+
+    def test_expired_after_deadline(self):
+        when = WhenClause.when_enters("bob", "x", expires=100.0)
+        assert not when.expired(99.0)
+        assert not when.expired(100.0)
+        assert when.expired(100.1)
+
+
+class TestTextForm:
+    @pytest.mark.parametrize("text", [
+        "now", "at(50)", "after(5)", "enters(bob, L10.01)",
+        "enters(bob, L10.01) until(600)", "now until(10)",
+    ])
+    def test_round_trip(self, text):
+        when = WhenClause.parse(text)
+        assert WhenClause.parse(str(when)) == when
+
+    def test_empty_is_now(self):
+        assert WhenClause.parse("").kind == "now"
+
+    @pytest.mark.parametrize("bad", ["later", "at()", "enters(bob)",
+                                     "after(x)"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(QueryError):
+            WhenClause.parse(bad)

@@ -1,0 +1,56 @@
+"""Deployment helpers: sensor roll-outs, printers, W-LAN."""
+
+import pytest
+
+from repro.location.geometry import Point
+from repro.server.deployment import (
+    deploy_door_sensors,
+    deploy_printers,
+    deploy_wlan_detector,
+)
+
+
+class TestDoorSensorRollout:
+    def test_one_sensor_per_sensed_door(self, network, guids, building,
+                                        deployed_range):
+        # deployed_range already rolled out; verify against the topology
+        _, sensors = deployed_range
+        sensed = [d for d in building.topology.doors() if d.sensor_id]
+        assert set(sensors) == {d.door_id for d in sensed}
+
+    def test_room_restriction(self, network, guids, building, deployed_range):
+        server, _ = deployed_range
+        restricted = deploy_door_sensors(building, "host-b", network, guids,
+                                         rooms=["lobby"])
+        assert set(restricted) == {"door:lobby--corridor"}
+
+    def test_sensors_register_automatically(self, network, guids,
+                                            deployed_range):
+        _, sensors = deployed_range
+        assert all(sensor.registered for sensor in sensors.values())
+
+    def test_miss_rate_propagated(self, network, guids, building,
+                                  deployed_range):
+        lossy = deploy_door_sensors(building, "host-b", network, guids,
+                                    rooms=["lobby"], miss_rate=0.25)
+        assert all(s.miss_rate == 0.25 for s in lossy.values())
+
+
+class TestOtherDeployments:
+    def test_printers_start_and_register(self, network, guids,
+                                         deployed_range):
+        printers = deploy_printers("host-a", network, guids,
+                                   {"P1": "L10.03", "P2": "open-area"})
+        network.scheduler.run_for(10)
+        assert all(p.registered for p in printers.values())
+        assert printers["P1"].room == "L10.03"
+
+    def test_wlan_detector_scans(self, network, guids, building,
+                                 deployed_range):
+        positions = {"dev": building.room_centroid("lobby")}
+        detector = deploy_wlan_detector(building, "host-a", network, guids,
+                                        device_positions=lambda: positions,
+                                        scan_interval=2.0)
+        network.scheduler.run_for(15)
+        assert detector.registered
+        assert detector.scans >= 5

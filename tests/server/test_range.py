@@ -1,0 +1,53 @@
+"""Range definitions: place and point governance."""
+
+import pytest
+
+from repro.location.geometry import Point
+from repro.server.range import RangeDefinition
+
+
+class TestPlaceGovernance:
+    def test_direct_place(self, building):
+        definition = RangeDefinition("lobby", places=["lobby"])
+        assert definition.governs_place(building, "lobby")
+        assert not definition.governs_place(building, "L10.01")
+
+    def test_hierarchical_place(self, building):
+        definition = RangeDefinition("level10", places=["L10"])
+        assert definition.governs_place(building, "L10.01")
+        assert definition.governs_place(building, "corridor")
+        assert not definition.governs_place(building, "lobby")
+
+    def test_whole_building(self, building):
+        definition = RangeDefinition("all", places=["livingstone"])
+        for room in building.room_names():
+            assert definition.governs_place(building, room)
+
+    def test_unknown_place_not_governed(self, building):
+        definition = RangeDefinition("x", places=["L10"])
+        assert not definition.governs_place(building, "narnia")
+
+    def test_rooms_lists_concrete_rooms(self, building):
+        definition = RangeDefinition("level10", places=["L10"])
+        rooms = definition.rooms(building)
+        assert "L10.01" in rooms and "lobby" not in rooms
+
+
+class TestPointGovernance:
+    def test_point_in_governed_room(self, building):
+        definition = RangeDefinition("level10", places=["L10"])
+        assert definition.governs_point(building,
+                                        building.room_centroid("L10.01"))
+        assert not definition.governs_point(building,
+                                            building.room_centroid("lobby"))
+
+    def test_wlan_bounded_range(self, building):
+        definition = RangeDefinition("lobby-net", places=[],
+                                     stations=["ap-lobby"])
+        assert definition.governs_point(building,
+                                        building.room_centroid("lobby"))
+        assert not definition.governs_point(building, Point(500, 500))
+
+    def test_outside_everything(self, building):
+        definition = RangeDefinition("level10", places=["L10"])
+        assert not definition.governs_point(building, Point(-100, -100))

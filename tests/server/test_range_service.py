@@ -1,0 +1,68 @@
+"""Range Service: the per-machine discovery daemon of Figure 5."""
+
+import pytest
+
+from repro.net.message import BROADCAST
+from repro.net.transport import FunctionProcess
+from repro.server.range_service import RangeService
+
+
+@pytest.fixture
+def service(network, guids):
+    registrar_guid = guids.mint()
+    service = RangeService(guids.mint(), "host-a", network,
+                           "test-range", registrar_guid)
+    return service, registrar_guid
+
+
+class TestOffers:
+    def test_component_up_gets_offer(self, network, guids, service):
+        rs, registrar_guid = service
+        inbox = []
+        component = FunctionProcess(guids.mint(), "host-a", network,
+                                    inbox.append)
+        component.send(BROADCAST, "component-up", {"kind": "ce"})
+        network.scheduler.run_for(5)
+        offers = [m for m in inbox if m.kind == "range-offer"]
+        assert len(offers) == 1
+        assert offers[0].payload["registrar"] == registrar_guid.hex
+        assert offers[0].payload["range"] == "test-range"
+
+    def test_other_machine_not_offered(self, network, guids, service):
+        rs, _ = service
+        inbox = []
+        component = FunctionProcess(guids.mint(), "host-b", network,
+                                    inbox.append)
+        component.send(BROADCAST, "component-up", {"kind": "ce"})
+        network.scheduler.run_for(5)
+        assert inbox == []  # broadcast is machine-local; no RS on host-b
+
+    def test_probe_also_answered(self, network, guids, service):
+        rs, _ = service
+        inbox = []
+        component = FunctionProcess(guids.mint(), "host-a", network,
+                                    inbox.append)
+        component.send(rs.guid, "probe", {})
+        network.scheduler.run_for(5)
+        assert inbox[0].kind == "range-offer"
+
+    def test_disabled_service_silent(self, network, guids, service):
+        rs, _ = service
+        rs.enabled = False
+        inbox = []
+        component = FunctionProcess(guids.mint(), "host-a", network,
+                                    inbox.append)
+        component.send(BROADCAST, "component-up", {"kind": "ce"})
+        network.scheduler.run_for(5)
+        assert inbox == []
+
+    def test_offer_to_host_targets_components_only(self, network, guids, service):
+        rs, _ = service
+        from repro.entities.entity import ContextAwareApplication
+        from repro.entities.profile import Profile
+        app = ContextAwareApplication(Profile(guids.mint(), "app"),
+                                      "host-a", network)
+        FunctionProcess(guids.mint(), "host-a", network, lambda m: None)
+        offered = rs.offer_to_host()
+        assert offered == 1  # the CAA, not the anonymous process
+        assert rs.offers_made == 1

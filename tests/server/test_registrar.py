@@ -1,0 +1,119 @@
+"""Registrar: registration protocol, leases, eviction, callbacks."""
+
+import pytest
+
+from repro.core.types import TypeSpec
+from repro.entities.profile import Profile
+from repro.net.transport import FunctionProcess
+from repro.server.registrar import RegistrationRecord, Registrar
+
+
+@pytest.fixture
+def registrar(network, guids):
+    reg = Registrar(guids.mint(), "host-a", network, "test-range",
+                    context_server=guids.mint(),
+                    event_mediator=guids.mint(),
+                    lease_duration=10.0, sweep_interval=2.0)
+    return reg
+
+
+def register(network, guids, registrar, name="ce-1", kind="ce"):
+    profile = Profile(guids.mint(), name,
+                      outputs=[TypeSpec("temperature", "celsius")])
+    replies = []
+    component = FunctionProcess(profile.entity_id, "host-b", network,
+                                replies.append, name=name)
+    component.send(registrar.guid, "register",
+                   {"kind": kind, "profile": profile.to_wire(),
+                    "advertisements": []})
+    network.scheduler.run_for(5)
+    return component, profile, replies
+
+
+class TestRegistration:
+    def test_ack_carries_range_addresses(self, network, guids, registrar):
+        _, _, replies = register(network, guids, registrar)
+        ack = replies[0].payload
+        assert ack["ok"] is True
+        assert ack["range"] == "test-range"
+        assert ack["context_server"] == registrar.context_server.hex
+        assert ack["event_mediator"] == registrar.event_mediator.hex
+        assert ack["lease"] == 10.0
+
+    def test_record_stored_with_host(self, network, guids, registrar):
+        component, profile, _ = register(network, guids, registrar)
+        record = registrar.record(profile.entity_id.hex)
+        assert record.host_id == "host-b"
+        assert record.kind == "ce"
+
+    def test_arrival_callback_fires_once(self, network, guids, registrar):
+        arrivals = []
+        registrar.on_arrival = arrivals.append
+        component, profile, _ = register(network, guids, registrar)
+        # re-register (e.g. duplicate offer): no second arrival
+        component.send(registrar.guid, "register",
+                       {"kind": "ce", "profile": profile.to_wire()})
+        network.scheduler.run_for(5)
+        assert len(arrivals) == 1
+
+    def test_malformed_profile_refused(self, network, guids, registrar):
+        replies = []
+        component = FunctionProcess(guids.mint(), "host-b", network,
+                                    replies.append)
+        component.send(registrar.guid, "register", {"profile": {"bad": 1}})
+        network.scheduler.run_for(5)
+        assert replies[0].payload["ok"] is False
+
+    def test_deregister_removes_and_notifies_callback(self, network, guids,
+                                                      registrar):
+        departures = []
+        registrar.on_departure = lambda record, reason: departures.append(reason)
+        component, profile, _ = register(network, guids, registrar)
+        component.send(registrar.guid, "deregister",
+                       {"entity": profile.entity_id.hex})
+        network.scheduler.run_for(5)
+        assert not registrar.registered(profile.entity_id.hex)
+        assert departures == ["deregistered"]
+
+
+class TestLeases:
+    def test_eviction_without_heartbeat(self, network, guids, registrar):
+        _, profile, _ = register(network, guids, registrar)
+        network.scheduler.run_for(20)  # lease 10 + sweep 2
+        assert not registrar.registered(profile.entity_id.hex)
+        assert registrar.evictions == 1
+
+    def test_heartbeats_renew(self, network, guids, registrar):
+        component, profile, _ = register(network, guids, registrar)
+        for _ in range(10):
+            component.send(registrar.guid, "heartbeat",
+                           {"entity": profile.entity_id.hex})
+            network.scheduler.run_for(4)
+        assert registrar.registered(profile.entity_id.hex)
+
+    def test_evicted_entity_notified(self, network, guids, registrar):
+        component, profile, replies = register(network, guids, registrar)
+        network.scheduler.run_for(20)
+        kinds = [m.kind for m in replies]
+        assert "deregistered" in kinds
+
+    def test_stale_heartbeat_gets_not_registered(self, network, guids, registrar):
+        component, profile, replies = register(network, guids, registrar)
+        network.scheduler.run_for(20)  # evicted
+        component.send(registrar.guid, "heartbeat",
+                       {"entity": profile.entity_id.hex})
+        network.scheduler.run_for(5)
+        notices = [m for m in replies if m.kind == "deregistered"]
+        assert any(m.payload["reason"] == "not-registered" for m in notices)
+
+    def test_infrastructure_records_have_no_lease(self, network, guids, registrar):
+        profile = Profile(guids.mint(), "infra-ce")
+        registrar.register_record(RegistrationRecord(
+            profile=profile, kind="infrastructure", lease_expiry=None))
+        network.scheduler.run_for(50)
+        assert registrar.registered(profile.entity_id.hex)
+
+    def test_invalid_intervals_rejected(self, network, guids):
+        with pytest.raises(ValueError):
+            Registrar(guids.mint(), "host-a", network, "r",
+                      guids.mint(), guids.mint(), lease_duration=0)
