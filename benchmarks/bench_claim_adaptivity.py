@@ -11,14 +11,24 @@ chain. The static-composition comparison (a Toolkit-style app never
 recovering) is quantified in bench_claim_baselines.
 """
 
+import pathlib
+
 import pytest
 
 from repro import SCI
 from repro.core.api import SCIConfig
 from repro.faults.monitor import StreamProbe
+from repro.obs.export import (
+    load_trace_jsonl,
+    write_metrics_json,
+    write_trace_jsonl,
+)
 from repro.query.model import QueryBuilder
 
 LEASE = 10.0
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+TRACE_PATH = RESULTS_DIR / "bench_claim_adaptivity.trace.jsonl"
+METRICS_PATH = RESULTS_DIR / "bench_claim_adaptivity.metrics.json"
 
 
 def deploy(seed=0):
@@ -89,6 +99,36 @@ class TestReportAdaptivity:
         assert result["recovery"] < LEASE + 10.0
         report(f"total-failure recovery {result['recovery']:.1f}s "
                f"< lease {LEASE:.0f}s + sweep + W-LAN scan slack")
+
+    def test_report_repair_trace_artifacts(self, report):
+        """Crash the whole sensor layer and export the observability
+        artefacts: the repair latency is then readable from the trace file
+        alone (failure time from meta, repair span start from the JSONL)."""
+        sci, app, sensors, _detector = deploy()
+        failure_at = sci.now
+        for sensor in sensors.values():
+            sci.injector.crash(sensor)
+        sci.walk("bob", "L10.03")
+        sci.run(30)
+
+        obs = sci.network.obs
+        span_count = write_trace_jsonl(obs.tracer, TRACE_PATH)
+        write_metrics_json(obs.metrics, METRICS_PATH,
+                           meta={"experiment": "c1-adaptivity",
+                                 "lease": LEASE, "failure_at": failure_at},
+                           profile=obs.profiler.snapshot())
+
+        records = load_trace_jsonl(TRACE_PATH)
+        repairs = [r for r in records if r["name"] == "config.repair"]
+        assert repairs, "repair must appear in the exported trace"
+        latency = repairs[0]["start"] - failure_at
+        assert 0 < latency < LEASE + 10.0
+        report("")
+        report(f"C1  trace artefact: {TRACE_PATH.name} ({span_count} spans), "
+               f"metrics: {METRICS_PATH.name}")
+        report(f"    repair span at t={repairs[0]['start']:.1f}, "
+               f"failure at t={failure_at:.1f} -> "
+               f"detection+repair latency {latency:.1f}s (from JSONL alone)")
 
     def test_report_no_user_intervention(self, report):
         """The application object is never touched after the failure — the

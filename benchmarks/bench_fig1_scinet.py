@@ -11,82 +11,33 @@ logarithmically and load stays balanced; the tree's root concentrates load
 (hotspot ratio >> overlay's) while latencies stay comparable.
 """
 
-import random
+import pathlib
 
 import pytest
 
-from repro.core.ids import GUID
-from repro.net.transport import FixedLatency, Network
-from repro.overlay.hierarchy import HierarchyNetwork
-from repro.overlay.scinet import SCINet
+from repro.obs.experiments import (
+    MESSAGES,
+    SERVICE_TIME,
+    check_hotspot_claim,
+    check_log_growth_claim,
+    figure1_artifact,
+    run_hierarchy_instrumented,
+    run_overlay_instrumented,
+)
+from repro.obs.export import load_metrics_json, write_metrics_document
 
-MESSAGES = 300
-SERVICE_TIME = 0.05
+ARTIFACT_PATH = (pathlib.Path(__file__).parent / "results"
+                 / "bench_fig1_scinet.metrics.json")
 
 
 def run_overlay(n, messages=MESSAGES, seed=0):
-    net = Network(latency_model=FixedLatency(1.0), seed=seed)
-    sci = SCINet(net)
-    nodes = [sci.create_node(f"h{i}", range_name=f"r{i}") for i in range(n)]
-    rng = random.Random(seed)
-    hops = []
-    latencies = []
-    for _ in range(messages):
-        key = GUID(rng.getrandbits(128))
-        target = sci.closest_node(key)
-        sent_at = net.scheduler.now
-
-        def on_delivery(kind, body, hop_count, _t=sent_at):
-            hops.append(hop_count)
-            latencies.append(net.scheduler.now - _t)
-
-        target.on_delivery.append(on_delivery)
-        nodes[rng.randrange(n)].route(key, "probe", {})
-        net.scheduler.run_for(40)
-        target.on_delivery.remove(on_delivery)
-    loads = [node.routed for node in sci.nodes()]
-    mean_load = sum(loads) / len(loads)
-    return {
-        "hops": sum(hops) / len(hops),
-        "latency": sum(latencies) / len(latencies),
-        # max/mean over ALL nodes — identical metric for both systems
-        "hotspot": max(loads) / mean_load if mean_load else 0.0,
-        "delivered": len(hops),
-    }
+    """Headline numbers for one overlay run (metrics-derived)."""
+    return dict(run_overlay_instrumented(n, messages, seed)["summary"])
 
 
 def run_hierarchy(n, messages=MESSAGES, seed=0):
-    net = Network(latency_model=FixedLatency(1.0), seed=seed)
-    tree = HierarchyNetwork(net, leaf_count=n, branching=4,
-                            service_time=SERVICE_TIME)
-    rng = random.Random(seed)
-    hops = []
-    latencies = []
-
-    for index in range(messages):
-        source = rng.randrange(n)
-        target = rng.randrange(n)
-        sent_at = net.scheduler.now
-        leaf = tree.leaf(target)
-
-        def on_delivery(kind, body, hop_count, _t=sent_at):
-            hops.append(hop_count)
-            latencies.append(net.scheduler.now - _t)
-
-        leaf.on_delivery.append(on_delivery)
-        tree.leaf(source).route(f"leaf-{target}", "probe", {})
-        net.scheduler.run_for(40)
-        leaf.on_delivery.remove(on_delivery)
-    loads = [node.handled for node in tree.all_nodes()]
-    mean_load = sum(loads) / len(loads)
-    return {
-        "hops": sum(hops) / len(hops),
-        "latency": sum(latencies) / len(latencies),
-        # max/mean over ALL nodes; the max is the root by construction
-        "hotspot": max(loads) / mean_load if mean_load else 0.0,
-        "delivered": len(hops),
-        "root_load": tree.root_load(),
-    }
+    """Headline numbers for one hierarchy run (metrics-derived)."""
+    return dict(run_hierarchy_instrumented(n, messages, seed)["summary"])
 
 
 class TestReportFigure1:
@@ -120,6 +71,26 @@ class TestReportFigure1:
                f"{small['hops']:.2f} -> {large['hops']:.2f}")
         # 16x more nodes -> ~log16(16)=1 extra hop, not 16x
         assert large["hops"] < small["hops"] + 2.5
+
+    def test_report_metrics_artifact(self, report):
+        """Emit the full-run metrics artefact and re-check the claims from
+        the written JSON alone — the offline-reproducibility requirement."""
+        artifact = figure1_artifact(sizes=(8, 32, 128))
+        write_metrics_document(artifact, ARTIFACT_PATH)
+        loaded = load_metrics_json(ARTIFACT_PATH)
+        hotspot = check_hotspot_claim(loaded, 128)
+        growth = check_log_growth_claim(loaded, 8, 128)
+        report("")
+        report(f"F1  metrics artefact: {ARTIFACT_PATH.name} "
+               f"({ARTIFACT_PATH.stat().st_size} bytes, "
+               f"{len(loaded['runs'])} runs)")
+        report(f"    hotspot@128: root={hotspot['hierarchy_root_load']:.0f} "
+               f"> overlay max={hotspot['overlay_max_load']:.0f} "
+               f"-> {hotspot['ok']}")
+        report(f"    log growth 8->128: {growth['small_hops']:.2f} -> "
+               f"{growth['large_hops']:.2f} hops -> {growth['ok']}")
+        assert hotspot["ok"], hotspot
+        assert growth["ok"], growth
 
 
 class TestBenchFigure1:

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Observability smoke check: run one instrumented bench, validate its JSON.
+
+Runs a reduced Figure-1 workload (both routing systems, two sizes), writes
+the metrics artefact, reads it back through the schema validator and
+re-checks the hotspot and log-growth claims offline. Exits non-zero on any
+failure, so CI can gate on it. Usage::
+
+    PYTHONPATH=src python scripts/smoke_obs.py [output-dir]
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.experiments import (  # noqa: E402
+    check_hotspot_claim,
+    check_log_growth_claim,
+    figure1_artifact,
+)
+from repro.obs.export import (  # noqa: E402
+    ArtifactError,
+    load_metrics_json,
+    write_metrics_document,
+)
+
+SIZES = (8, 32)
+MESSAGES = 120
+
+
+def main() -> int:
+    out_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
+                           else "benchmarks/results")
+    path = out_dir / "smoke_obs.metrics.json"
+
+    print(f"smoke-obs: running fig1 at N={SIZES} with {MESSAGES} messages...")
+    artifact = figure1_artifact(sizes=SIZES, messages=MESSAGES,
+                                meta={"smoke": True})
+    write_metrics_document(artifact, path)
+    print(f"smoke-obs: wrote {path} ({path.stat().st_size} bytes)")
+
+    try:
+        loaded = load_metrics_json(path)
+    except ArtifactError as exc:
+        print(f"smoke-obs: FAIL — artefact does not validate: {exc}")
+        return 1
+
+    hotspot = check_hotspot_claim(loaded, max(SIZES))
+    growth = check_log_growth_claim(loaded, min(SIZES), max(SIZES))
+    print(f"smoke-obs: hotspot@{max(SIZES)}: "
+          f"root={hotspot['hierarchy_root_load']:.0f} vs "
+          f"overlay max={hotspot['overlay_max_load']:.0f} "
+          f"-> {'ok' if hotspot['ok'] else 'FAIL'}")
+    print(f"smoke-obs: hop growth {min(SIZES)}->{max(SIZES)}: "
+          f"{growth['small_hops']:.2f} -> {growth['large_hops']:.2f} "
+          f"-> {'ok' if growth['ok'] else 'FAIL'}")
+
+    if not (hotspot["ok"] and growth["ok"]):
+        print("smoke-obs: FAIL — claim shape not reproduced")
+        return 1
+    print("smoke-obs: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -144,23 +144,40 @@ class ConfigurationManager:
         """Ensure a configuration delivering ``wanted`` exists and attach the
         subscriber to its output. Raises :class:`NoProviderError` when no
         provider chain exists."""
+        obs = self.network.obs
         if reuse:
             existing = self._reusable(wanted)
             if existing is not None:
                 self.reuse_hits += 1
-                self._attach_output(existing, subscriber_hex, one_time, query_id)
+                obs.metrics.counter(
+                    "config.reuse_hits", "queries served by an existing graph",
+                    labels=("range",)).inc(range=self.range_name)
+                with obs.tracer.span_if_active(
+                        "config.resolve", range=self.range_name,
+                        wanted=str(wanted), reused=existing.config_id):
+                    self._attach_output(existing, subscriber_hex, one_time,
+                                        query_id)
                 return existing
-        plan = self.resolver.resolve(wanted, provider_predicate=provider_predicate)
-        config = Configuration(
-            config_id=f"cfg-{next(_config_ids)}",
-            wanted=wanted,
-            plan=plan,
-            created_at=self.network.scheduler.now,
-        )
-        self._configs[config.config_id] = config
-        self._instantiate(config)
-        self._attach_output(config, subscriber_hex, one_time, query_id)
-        self.builds += 1
+        with obs.tracer.span_if_active(
+                "config.resolve", range=self.range_name,
+                wanted=str(wanted)) as span:
+            plan = self.resolver.resolve(wanted,
+                                         provider_predicate=provider_predicate)
+            config = Configuration(
+                config_id=f"cfg-{next(_config_ids)}",
+                wanted=wanted,
+                plan=plan,
+                created_at=self.network.scheduler.now,
+            )
+            self._configs[config.config_id] = config
+            self._instantiate(config)
+            self._attach_output(config, subscriber_hex, one_time, query_id)
+            self.builds += 1
+            obs.metrics.counter(
+                "config.builds", "configuration graphs instantiated",
+                labels=("range",)).inc(range=self.range_name)
+            if span is not None:
+                span.set(config=config.config_id, nodes=len(plan.nodes))
         return config
 
     def _reusable(self, wanted: TypeSpec) -> Optional[Configuration]:
@@ -320,12 +337,24 @@ class ConfigurationManager:
         return affected
 
     def _repair(self, config: Configuration, failed_hex: str) -> None:
+        # Repair is triggered by lease expiry / departure notices, outside
+        # any query trace — so this span roots a fresh trace that the C1
+        # benchmark (and test_adaptivity) reads the repair latency from.
+        with self.network.obs.tracer.span(
+                "config.repair", range=self.range_name,
+                config=config.config_id, failed=failed_hex[:12]) as span:
+            self._repair_inner(config, failed_hex, span)
+
+    def _repair_inner(self, config: Configuration, failed_hex: str,
+                      span) -> None:
         if (self.max_repairs_per_config is not None
                 and config.repairs >= self.max_repairs_per_config):
             config.state = ConfigState.DEAD
             reason = (f"adaptation bound reached "
                       f"({self.max_repairs_per_config} repairs)")
             logger.warning("configuration %s: %s", config.config_id, reason)
+            if span is not None:
+                span.set(outcome="dead", reason=reason)
             self._dismantle(config)
             self.on_config_dead(config, reason)
             return
@@ -344,6 +373,8 @@ class ConfigurationManager:
             config.state = ConfigState.DEAD
             logger.warning("configuration %s unrepairable: %s",
                            config.config_id, exc)
+            if span is not None:
+                span.set(outcome="unrepairable", reason=str(exc))
             self.on_config_dead(config, str(exc))
             return
         self._instantiate(config)
@@ -354,6 +385,11 @@ class ConfigurationManager:
         config.state = ConfigState.ACTIVE
         config.repairs += 1
         self.repairs += 1
+        self.network.obs.metrics.counter(
+            "config.repairs", "configurations re-composed after a failure",
+            labels=("range",)).inc(range=self.range_name)
+        if span is not None:
+            span.set(outcome="repaired", repair_number=config.repairs)
         logger.info("configuration %s repaired around %s (repair #%d)",
                     config.config_id, failed_hex[:8], config.repairs)
 

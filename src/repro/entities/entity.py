@@ -316,6 +316,8 @@ class ContextAwareApplication(BaseComponent):
         self.query_acks: Dict[str, Dict[str, Any]] = {}
         self.results: List[Dict[str, Any]] = []
         self.events: List[ContextEvent] = []
+        #: query id -> open ``query.submit`` root span, closed at ack/timeout
+        self._query_spans: Dict[str, Any] = {}
 
     # -- querying ---------------------------------------------------------------
 
@@ -323,13 +325,31 @@ class ContextAwareApplication(BaseComponent):
         """Send a query to the range's Context Server (requires registration)."""
         if not self.registered or self.context_server is None:
             raise RegistrationError(f"{self.name} is not in a range; queue the query instead")
-        self.requests.request(
-            self.context_server,
-            "query",
-            {"query": query.to_wire()},
-            on_reply=self._handle_query_ack,
-            on_timeout=lambda: self.on_query_failed(query.query_id, "timeout"),
-        )
+        tracer = self.network.obs.tracer
+        # Root span of the whole query trace. The request below is stamped
+        # with it while it is current; we then leave (not close) it so it
+        # can span the full round trip until the ack arrives.
+        span = tracer.start("query.submit", app=self.name,
+                            query=query.query_id, mode=query.mode.value)
+        try:
+            self.requests.request(
+                self.context_server,
+                "query",
+                {"query": query.to_wire()},
+                on_reply=self._handle_query_ack,
+                on_timeout=lambda: self._query_timed_out(query.query_id),
+            )
+        finally:
+            tracer.leave(span)
+        if span is not None:
+            self._query_spans[query.query_id] = span
+
+    def _query_timed_out(self, query_id: str) -> None:
+        span = self._query_spans.pop(query_id, None)
+        if span is not None:
+            span.set(outcome="timeout")
+            self.network.obs.tracer.end(span)
+        self.on_query_failed(query_id, "timeout")
 
     def queue_query(self, query) -> None:
         """Store a query for submission at next registration (offline mode)."""
@@ -349,10 +369,15 @@ class ContextAwareApplication(BaseComponent):
 
     def _handle_query_ack(self, reply: Message) -> None:
         payload = reply.payload
-        self.query_acks[payload.get("query_id", "")] = payload
+        query_id = payload.get("query_id", "")
+        self.query_acks[query_id] = payload
+        span = self._query_spans.pop(query_id, None)
+        if span is not None:
+            span.set(outcome=payload.get("status", "acked"),
+                     ok=payload.get("ok", False))
+            self.network.obs.tracer.end(span)
         if not payload.get("ok", False):
-            self.on_query_failed(payload.get("query_id", ""),
-                                 payload.get("error", "refused"))
+            self.on_query_failed(query_id, payload.get("error", "refused"))
 
     # -- receiving --------------------------------------------------------------------
 

@@ -125,6 +125,21 @@ class EventMediator(Process):
         """Distribute ``event``; returns the number of local deliveries."""
         self.published += 1
         self.by_type[event.type_name] += 1
+        self.network.obs.metrics.counter(
+            "mediator.published", "events published per range",
+            labels=("range",)).inc(range=self.range_name or "-")
+        # span only when this publication is part of a traced operation
+        # (query replay, bridged delivery...); background sensor chatter
+        # stays span-free so it cannot flood the trace store
+        with self.network.obs.tracer.span_if_active(
+                "mediator.publish", range=self.range_name,
+                type=event.type_name, bridged=bridged) as span:
+            delivered = self._fan_out(event, bridged)
+            if span is not None:
+                span.set(delivered=delivered)
+        return delivered
+
+    def _fan_out(self, event: ContextEvent, bridged: bool) -> int:
         self._retained[(event.type_name, event.representation, event.subject)] = event
         delivered = 0
         for subscription in list(self._subscriptions.values()):
@@ -146,8 +161,14 @@ class EventMediator(Process):
     def _deliver(self, subscription: Subscription, event: ContextEvent) -> None:
         subscription.record_delivery()
         self.deliveries += 1
-        self.send(subscription.subscriber, "event",
-                  {"event": event.to_wire(), "sub_id": subscription.sub_id})
+        self.network.obs.metrics.counter(
+            "mediator.deliveries", "matched events forwarded to subscribers",
+            labels=("range",)).inc(range=self.range_name or "-")
+        with self.network.obs.tracer.span_if_active(
+                "mediator.deliver", range=self.range_name,
+                type=event.type_name, sub_id=subscription.sub_id):
+            self.send(subscription.subscriber, "event",
+                      {"event": event.to_wire(), "sub_id": subscription.sub_id})
 
     # -- message protocol -----------------------------------------------------
 

@@ -35,6 +35,10 @@ class Message:
     sent_at: float = 0.0
     #: Number of overlay hops taken so far (incremented by overlay nodes).
     hops: int = 0
+    #: Trace-context metadata ({"trace": ..., "span": ...}): the transport
+    #: stamps the sender's ambient span here and re-activates it at delivery,
+    #: so spans opened while handling this message become its children.
+    trace: Optional[Dict[str, str]] = None
 
     def response(self, sender: GUID, kind: str, payload: Optional[Dict[str, Any]] = None) -> "Message":
         """Build a reply to this message, correlated via ``reply_to``."""

@@ -11,7 +11,17 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Callable, List, Optional, Tuple
+
+
+def callsite(fn: Callable) -> str:
+    """A stable profiling label for a callback: ``Class.method`` or qualname."""
+    owner = getattr(fn, "__self__", None)
+    if owner is not None:
+        return f"{type(owner).__name__}.{getattr(fn, '__name__', 'call')}"
+    name = getattr(fn, "__qualname__", None) or getattr(fn, "__name__", None)
+    return name or repr(fn)
 
 
 class Timer:
@@ -19,14 +29,20 @@ class Timer:
 
     Cancellation is lazy: the heap entry stays put and is skipped when
     popped, which is O(1) and keeps the heap simple.
+
+    ``site`` and ``created_at`` feed the optional scheduler profiler: which
+    code scheduled this event, and how long it dwelt in the heap.
     """
 
-    __slots__ = ("when", "fn", "cancelled")
+    __slots__ = ("when", "fn", "cancelled", "site", "created_at")
 
-    def __init__(self, when: float, fn: Callable[[], None]):
+    def __init__(self, when: float, fn: Callable[[], None],
+                 site: str = "", created_at: float = 0.0):
         self.when = when
         self.fn = fn
         self.cancelled = False
+        self.site = site
+        self.created_at = created_at
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -50,6 +66,9 @@ class Scheduler:
         self._heap: List[Tuple[float, int, Timer]] = []
         self._sequence = itertools.count()
         self._events_processed = 0
+        #: optional :class:`repro.obs.profiling.SchedulerProfiler` (duck-typed
+        #: ``record(site, lag, wall)``); None keeps the hot loop hook-free
+        self.profiler = None
 
     # -- scheduling ---------------------------------------------------------
 
@@ -67,7 +86,8 @@ class Scheduler:
             bound = lambda: fn(*args, **kwargs)  # noqa: E731 - tiny closure
         else:
             bound = fn
-        timer = Timer(when, bound)
+        # attribute the event to the *original* callable, not the closure
+        timer = Timer(when, bound, site=callsite(fn), created_at=self.now)
         heapq.heappush(self._heap, (when, next(self._sequence), timer))
         return timer
 
@@ -80,7 +100,9 @@ class Scheduler:
         cancelled. The handle returned stays valid across re-arms."""
         if interval <= 0:
             raise ValueError(f"non-positive interval: {interval}")
-        handle = Timer(self.now + interval, lambda: None)
+        site = f"{callsite(fn)}[periodic]"
+        handle = Timer(self.now + interval, lambda: None, site=site,
+                       created_at=self.now)
 
         def tick():
             if handle.cancelled:
@@ -88,9 +110,11 @@ class Scheduler:
             fn()
             if not handle.cancelled:
                 inner = self.schedule(interval, tick)
+                inner.site = site
                 handle.when = inner.when
 
         inner = self.schedule(interval, tick)
+        inner.site = site
         handle.when = inner.when
         return handle
 
@@ -112,7 +136,13 @@ class Scheduler:
             if timer.cancelled:
                 continue
             self.now = when
-            timer.fn()
+            if self.profiler is not None:
+                started = perf_counter()
+                timer.fn()
+                self.profiler.record(timer.site, when - timer.created_at,
+                                     perf_counter() - started)
+            else:
+                timer.fn()
             processed += 1
             self._events_processed += 1
             if processed >= max_events:

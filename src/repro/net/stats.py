@@ -5,63 +5,128 @@ baseline develops a root hotspot while the overlay does not, and delivery
 latency samples to show the two are otherwise comparable. The stats object
 is owned by the :class:`~repro.net.transport.Network` and updated on every
 send/deliver/drop.
+
+Since the :mod:`repro.obs` subsystem landed, :class:`MessageStats` is a
+facade over a :class:`~repro.obs.metrics.MetricsRegistry` — the counters
+live as ``net.messages.*`` series and the latency samples in the bounded
+``net.delivery.latency`` histogram reservoir, so arbitrarily long runs keep
+memory flat and any exporter sees the same numbers the benchmarks report.
 """
 
 from __future__ import annotations
 
 import math
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+
+#: canonical metric names backing the facade
+SENT = "net.messages.sent"
+DELIVERED = "net.messages.delivered"
+DROPPED = "net.messages.dropped"
+UNDELIVERABLE = "net.messages.undeliverable"
+LATENCY = "net.delivery.latency"
+
+_NET_METRICS = (SENT, DELIVERED, DROPPED, UNDELIVERABLE, LATENCY)
 
 
-@dataclass
 class MessageStats:
-    """Counters and samples accumulated by a :class:`~repro.net.transport.Network`."""
+    """Counters and samples accumulated by a :class:`~repro.net.transport.Network`.
 
-    sent: int = 0
-    delivered: int = 0
-    dropped: int = 0
-    undeliverable: int = 0
-    by_kind: Counter = field(default_factory=Counter)
-    #: messages handled per host — the hotspot metric for Figure 1
-    host_load: Counter = field(default_factory=Counter)
-    #: end-to-end delivery latency samples (simulated time units)
-    latencies: List[float] = field(default_factory=list)
+    Constructed bare (``MessageStats()``) it owns a private registry;
+    constructed with one it records into shared, exportable series.
+    ``latency_reservoir`` bounds how many raw latency samples are retained
+    (count/sum/min/max stay exact regardless).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 latency_reservoir: int = 2048):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._sent = self.registry.counter(
+            SENT, "messages entering the network", labels=("kind",))
+        self._delivered = self.registry.counter(
+            DELIVERED, "messages handled per host — the Figure-1 hotspot metric",
+            labels=("host",))
+        self._dropped = self.registry.counter(
+            DROPPED, "messages lost to failure, partition or drop rate")
+        self._undeliverable = self.registry.counter(
+            UNDELIVERABLE, "messages to unknown/departed recipients")
+        self._latency = self.registry.histogram(
+            LATENCY, "end-to-end delivery latency (simulated time units)",
+            reservoir_size=latency_reservoir)
+
+    # -- recording ------------------------------------------------------------
 
     def record_send(self, kind: str) -> None:
-        self.sent += 1
-        self.by_kind[kind] += 1
+        self._sent.inc(kind=kind)
 
     def record_delivery(self, host_id: str, latency: float) -> None:
-        self.delivered += 1
-        self.host_load[host_id] += 1
-        self.latencies.append(latency)
+        self._delivered.inc(host=host_id)
+        self._latency.observe(latency)
 
     def record_drop(self) -> None:
-        self.dropped += 1
+        self._dropped.inc()
 
     def record_undeliverable(self) -> None:
-        self.undeliverable += 1
+        self._undeliverable.inc()
 
     def reset(self) -> None:
-        self.sent = 0
-        self.delivered = 0
-        self.dropped = 0
-        self.undeliverable = 0
-        self.by_kind.clear()
-        self.host_load.clear()
-        self.latencies.clear()
+        self.registry.reset(_NET_METRICS)
+
+    # -- the pre-obs reading API (kept verbatim for benchmarks/tests) ---------
+
+    @property
+    def sent(self) -> int:
+        return int(self._sent.total())
+
+    @property
+    def delivered(self) -> int:
+        return int(self._delivered.total())
+
+    @property
+    def dropped(self) -> int:
+        return int(self._dropped.total())
+
+    @property
+    def undeliverable(self) -> int:
+        return int(self._undeliverable.total())
+
+    @property
+    def by_kind(self) -> Counter:
+        return Counter({kind: int(count)
+                        for kind, count in self._sent.by_label().items()})
+
+    @property
+    def host_load(self) -> Counter:
+        """Messages handled per host — the hotspot metric for Figure 1."""
+        return Counter({host: int(count)
+                        for host, count in self._delivered.by_label().items()})
+
+    @property
+    def latencies(self) -> List[float]:
+        """Bounded reservoir sample of delivery latencies (see class doc)."""
+        return self._latency.samples
+
+    @property
+    def latency_count(self) -> int:
+        """Exact number of latency observations (exceeds len(latencies))."""
+        return self._latency.count
+
+    def latency_summary(self) -> Dict[str, float]:
+        return self._latency.summary()
 
     @property
     def max_host_load(self) -> int:
-        return max(self.host_load.values()) if self.host_load else 0
+        loads = self._delivered.by_label()
+        return int(max(loads.values())) if loads else 0
 
     @property
     def mean_host_load(self) -> float:
-        if not self.host_load:
+        loads = self._delivered.by_label()
+        if not loads:
             return 0.0
-        return sum(self.host_load.values()) / len(self.host_load)
+        return sum(loads.values()) / len(loads)
 
     def hotspot_ratio(self) -> float:
         """max/mean host load: ~1 means balanced, large means a bottleneck."""

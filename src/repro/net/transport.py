@@ -24,6 +24,7 @@ from repro.core.ids import GUID, GuidFactory
 from repro.net.message import BROADCAST, Message
 from repro.net.sim import Scheduler
 from repro.net.stats import MessageStats
+from repro.obs.hub import Observability
 
 logger = logging.getLogger(__name__)
 
@@ -216,7 +217,9 @@ class Network:
         self.drop_rate = drop_rate
         self.rng = random.Random(seed)
         self.guids = GuidFactory(seed=seed ^ 0x5C1)
-        self.stats = MessageStats()
+        #: the deployment-wide observability bundle (metrics/tracer/profiler)
+        self.obs = Observability(self.scheduler)
+        self.stats = MessageStats(registry=self.obs.metrics)
         self._hosts: Dict[str, Host] = {}
         self._processes: Dict[GUID, Process] = {}
         self._partition_of: Dict[str, int] = {}
@@ -284,6 +287,10 @@ class Network:
     def send(self, message: Message) -> None:
         """Queue a message for delivery (or loss) per the failure model."""
         message.sent_at = self.scheduler.now
+        if message.trace is None:
+            # Stamp the sender's ambient span so downstream handling joins
+            # the same trace (see repro.obs.tracing).
+            message.trace = self.obs.tracer.current_context()
         self.stats.record_send(message.kind)
         sender = self._processes.get(message.sender)
         if sender is None:
@@ -325,6 +332,7 @@ class Network:
                 reply_to=message.reply_to,
             )
             copy.sent_at = message.sent_at
+            copy.trace = message.trace
             self._dispatch(copy, source_host, process)
 
     def _dispatch(self, message: Message, source_host: Optional[Host], recipient: Process) -> None:
@@ -352,7 +360,8 @@ class Network:
             self.stats.record_undeliverable()
             return
         self.stats.record_delivery(recipient.host_id, self.scheduler.now - message.sent_at)
-        recipient.on_message(message)
+        with self.obs.tracer.activate(message.trace):
+            recipient.on_message(message)
 
     # -- convenience ---------------------------------------------------------
 

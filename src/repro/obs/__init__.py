@@ -1,0 +1,50 @@
+"""Cross-cutting observability for the SCI reproduction.
+
+The paper's central claims are latency and load claims — overlay routing
+avoids hierarchy hotspots, re-composition is fast, discovery latency stays
+flat — so every subsystem that carries a query or an event needs to be
+measurable. This package provides the three instruments the rest of the
+middleware records into:
+
+``repro.obs.metrics``
+    A metrics registry (counters, gauges, histograms with labels) with
+    isolated snapshots and JSON export. Backs — and subsumes — the
+    bench-specific :class:`repro.net.stats.MessageStats`.
+``repro.obs.tracing``
+    Structured traces: spans with parent/child links and simulated-time
+    durations, carried across processes on :class:`repro.net.message.Message`
+    metadata, so one query can be followed CS -> overlay hops -> remote
+    resolver -> mediator delivery.
+``repro.obs.profiling``
+    Scheduler profiling: per-callback-site event counts, wall-clock cost and
+    scheduling lag, with a top-N report.
+``repro.obs.export``
+    JSON-lines span export, metrics JSON artefacts with a validating
+    mini-schema, and plain-text summary tables.
+``repro.obs.hub``
+    :class:`~repro.obs.hub.Observability` bundles one registry, one tracer
+    and one profiler per deployment; every :class:`~repro.net.transport.Network`
+    owns one as ``network.obs``.
+
+(:mod:`repro.obs.experiments` holds instrumented experiment runners shared
+by the benchmarks and the regression tests; it is imported explicitly, not
+re-exported here, because it pulls in the overlay layers.)
+"""
+
+from repro.obs.hub import Observability
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Reservoir
+from repro.obs.profiling import SchedulerProfiler
+from repro.obs.tracing import Span, Trace, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Reservoir",
+    "SchedulerProfiler",
+    "Span",
+    "Trace",
+    "Tracer",
+]

@@ -1,0 +1,39 @@
+"""The per-deployment observability bundle.
+
+One :class:`Observability` instance rides on each
+:class:`~repro.net.transport.Network` (as ``network.obs``): a metrics
+registry, a tracer clocked by the network's scheduler, and a scheduler
+profiler. Components reach it through their process's network, so a whole
+deployment — Context Servers, overlay nodes, mediators, entities — records
+into one coherent place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import SchedulerProfiler
+from repro.obs.tracing import Tracer
+
+
+class Observability:
+    """Metrics + tracing + scheduler profiling for one deployment."""
+
+    def __init__(self, scheduler, max_traces: int = 1024,
+                 registry: Optional[MetricsRegistry] = None,
+                 profile_scheduler: bool = True):
+        self.scheduler = scheduler
+        self.metrics = registry or MetricsRegistry()
+        self.tracer = Tracer(clock=lambda: scheduler.now,
+                             max_traces=max_traces)
+        self.profiler = SchedulerProfiler()
+        # Attach to the scheduler unless another deployment got there first
+        # (two Networks may share one Scheduler in mixed benchmarks).
+        if profile_scheduler and getattr(scheduler, "profiler", None) is None:
+            scheduler.profiler = self.profiler
+
+    def __repr__(self) -> str:
+        return (f"Observability(metrics={len(self.metrics)}, "
+                f"traces={len(self.tracer.traces())}, "
+                f"events={self.profiler.events})")

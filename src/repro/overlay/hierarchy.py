@@ -43,6 +43,13 @@ class HierarchyNode(Process):
         self.max_queue_delay = 0.0
         self.on_delivery: List[Callable[[str, Dict[str, Any], int], None]] = []
 
+    @property
+    def role(self) -> str:
+        """Position in the tree, for the load-by-role metric series."""
+        if self.parent is None:
+            return "root" if self.children else "leaf"
+        return "interior" if self.children else "leaf"
+
     # -- tree construction -------------------------------------------------------
 
     def attach_child(self, child: "HierarchyNode") -> None:
@@ -73,6 +80,12 @@ class HierarchyNode(Process):
         queue_delay = start - now
         self.max_queue_delay = max(self.max_queue_delay, queue_delay)
         self.handled += 1
+        self.network.obs.metrics.counter(
+            "hierarchy.node.load", "messages handled per tree server",
+            labels=("node", "role")).inc(node=self.label, role=self.role)
+        self.network.obs.metrics.histogram(
+            "hierarchy.queue.delay",
+            "service-time queueing delay at tree servers").observe(queue_delay)
         delay = (start + self.service_time) - now
         if delay > 0:
             self.scheduler.schedule(delay, self._forward, payload)

@@ -169,13 +169,18 @@ class OverlayNode(Process):
     def route(self, key: GUID, kind: str, body: Optional[Dict[str, Any]] = None,
               origin: Optional[GUID] = None) -> None:
         """Route ``body`` toward the node numerically closest to ``key``."""
-        self._route_step({
-            "key": key.hex,
-            "kind": kind,
-            "body": body or {},
-            "origin": (origin or self.guid).hex,
-            "hops": 0,
-        })
+        # An explicit route() call is a traced operation in its own right:
+        # open a root span here (or a child, if the caller is mid-trace) so
+        # every forwarding hop hangs off it via the message context.
+        with self.network.obs.tracer.span("overlay.route", node=self.name,
+                                          kind=kind, origin=True):
+            self._route_step({
+                "key": key.hex,
+                "kind": kind,
+                "body": body or {},
+                "origin": (origin or self.guid).hex,
+                "hops": 0,
+            })
 
     def broadcast(self, kind: str, body: Dict[str, Any]) -> None:
         """Flood an announcement over the overlay mesh (with dedup)."""
@@ -193,12 +198,23 @@ class OverlayNode(Process):
 
     def lookup_place(self, place: str) -> Optional[str]:
         """Synchronous directory lookup (replicated cache)."""
-        return self.directory.get(place)
+        with self.network.obs.tracer.span_if_active(
+                "overlay.lookup", node=self.name, place=place) as span:
+            found = self.directory.get(place)
+            if span is not None:
+                span.set(found=found is not None)
+        self.network.obs.metrics.counter(
+            "overlay.directory.lookups", "replicated range-directory reads",
+            labels=("hit",)).inc(hit=str(found is not None).lower())
+        return found
 
     # -- routing machinery -------------------------------------------------------------
 
     def _route_step(self, payload: Dict[str, Any]) -> None:
         self.routed += 1
+        self.network.obs.metrics.counter(
+            "overlay.node.load", "route steps handled per overlay node",
+            labels=("node",)).inc(node=self.range_name or self.guid.hex[:8])
         key = GUID.from_hex(payload["key"])
         next_hop = self.table.next_hop(key)
         if next_hop is None:
@@ -213,6 +229,12 @@ class OverlayNode(Process):
 
     def _deliver(self, payload: Dict[str, Any]) -> None:
         self.delivered += 1
+        metrics = self.network.obs.metrics
+        metrics.counter("overlay.delivered",
+                        "routed payloads that reached their key owner").inc()
+        metrics.histogram("overlay.route.hops",
+                          "overlay hops per delivered route").observe(
+                              payload["hops"])
         kind = payload["kind"]
         body = payload["body"]
         hops = payload["hops"]
@@ -257,16 +279,23 @@ class OverlayNode(Process):
 
     def on_message(self, message: Message) -> None:
         if message.kind == "o-route":
-            self._route_step(message.payload)
+            # one span per forwarding hop, chained under the origin's span
+            with self.network.obs.tracer.span_if_active(
+                    "overlay.route", node=self.name,
+                    hops=message.payload.get("hops", 0)):
+                self._route_step(message.payload)
         elif message.kind == "o-bcast":
             if message.payload["bcast_id"] in self._seen_broadcasts:
                 return
             self._apply_broadcast(message.payload)
             self._forward_broadcast(message.payload)
         elif message.kind == "o-delivery":
-            for callback in self.on_delivery:
-                callback(message.payload["kind"], message.payload["body"],
-                         message.payload["hops"])
+            with self.network.obs.tracer.span_if_active(
+                    "overlay.deliver", node=self.name,
+                    kind=message.payload["kind"]):
+                for callback in self.on_delivery:
+                    callback(message.payload["kind"], message.payload["body"],
+                             message.payload["hops"])
         elif message.kind == "table-add":
             self.table.add(GUID.from_hex(message.payload["node"]))
         elif message.kind == "table-remove":

@@ -65,6 +65,9 @@ class ParkedQuery:
     subscriber_hex: str
     parked_at: float
     origin_range: Optional[str] = None
+    #: trace context captured at park time, re-activated when the When
+    #: condition fires — so the eventual execution joins the submit trace
+    trace_ctx: Optional[Dict[str, str]] = None
 
 
 class ContextServer(Process):
@@ -223,13 +226,20 @@ class ContextServer(Process):
                        {"ok": False, "query_id": "", "error": str(exc)})
             return
         subscriber_hex = message.payload.get("subscriber", message.sender.hex)
-        status, error = self.accept_query(query, subscriber_hex)
-        self.reply(message, "query-ack", {
-            "ok": error is None,
-            "query_id": query.query_id,
-            "status": status,
-            **({"error": error} if error else {}),
-        })
+        # A query message is always worth a span: child of the CAA's submit
+        # span when one is in flight, a fresh root otherwise.
+        with self.network.obs.tracer.span(
+                "cs.query", range=self.definition.name,
+                query=query.query_id, mode=query.mode.value) as span:
+            status, error = self.accept_query(query, subscriber_hex)
+            if span is not None:
+                span.set(status=status, ok=error is None)
+            self.reply(message, "query-ack", {
+                "ok": error is None,
+                "query_id": query.query_id,
+                "status": status,
+                **({"error": error} if error else {}),
+            })
 
     def _handle_cancel(self, message: Message) -> None:
         query_id = message.payload.get("query_id", "")
@@ -244,6 +254,14 @@ class ContextServer(Process):
 
         Returns ``(status, error)`` with error None on success.
         """
+        status, error = self._route_query(query, subscriber_hex)
+        self.network.obs.metrics.counter(
+            "cs.queries", "queries routed per range and outcome",
+            labels=("range", "status")).inc(
+                range=self.definition.name, status=status)
+        return status, error
+
+    def _route_query(self, query: Query, subscriber_hex: str):
         if query.when.expired(self.now):
             self.queries_failed += 1
             return "expired", "query expired before execution"
@@ -262,8 +280,11 @@ class ContextServer(Process):
                 return "forwarded", None
             # No peer governs it; fall through and try locally.
 
+        tracer = self.network.obs.tracer
         if query.when.kind == "enters":
-            self._parked.append(ParkedQuery(query, subscriber_hex, self.now))
+            self._parked.append(ParkedQuery(
+                query, subscriber_hex, self.now,
+                trace_ctx=tracer.current_context()))
             self.queries_parked += 1
             logger.info("%s parked %s until %s", self.name,
                         query.query_id, query.when)
@@ -272,17 +293,20 @@ class ContextServer(Process):
         trigger = query.when.trigger_time(self.now)
         if trigger is not None and trigger > self.now:
             self.scheduler.schedule_at(trigger, self._execute_later,
-                                       query, subscriber_hex)
+                                       query, subscriber_hex,
+                                       tracer.current_context())
             return "scheduled", None
 
         error = self.execute_query(query, subscriber_hex)
         return ("executed" if error is None else "failed"), error
 
-    def _execute_later(self, query: Query, subscriber_hex: str) -> None:
+    def _execute_later(self, query: Query, subscriber_hex: str,
+                       trace_ctx: Optional[Dict[str, str]] = None) -> None:
         if query.when.expired(self.now):
             self.queries_failed += 1
             return
-        self.execute_query(query, subscriber_hex)
+        with self.network.obs.tracer.activate(trace_ctx):
+            self.execute_query(query, subscriber_hex)
 
     def _foreign_place(self, query: Query) -> Optional[str]:
         """A concrete place this query hinges on that we do not govern."""
@@ -310,7 +334,8 @@ class ContextServer(Process):
             logger.info("%s: parked query %s triggered by %s entering %s",
                         self.name, parked.query.query_id,
                         fix.entity_key, fix.room)
-            self.execute_query(parked.query, parked.subscriber_hex)
+            with self.network.obs.tracer.activate(parked.trace_ctx):
+                self.execute_query(parked.query, parked.subscriber_hex)
 
     def _sweep_expired_queries(self) -> None:
         now = self.now
@@ -332,6 +357,15 @@ class ContextServer(Process):
 
     def execute_query(self, query: Query, subscriber_hex: str) -> Optional[str]:
         """Execute one query now; returns an error string or None."""
+        with self.network.obs.tracer.span_if_active(
+                "cs.execute", range=self.definition.name,
+                query=query.query_id, mode=query.mode.value) as span:
+            error = self._execute(query, subscriber_hex)
+            if span is not None:
+                span.set(ok=error is None)
+        return error
+
+    def _execute(self, query: Query, subscriber_hex: str) -> Optional[str]:
         try:
             if query.mode == QueryMode.PROFILE:
                 self._execute_profile(query, subscriber_hex)
@@ -350,8 +384,16 @@ class ContextServer(Process):
         self.queries_executed += 1
         return None
 
+    def _send_result(self, query_id: str, subscriber_hex: str,
+                     result: Dict[str, Any]) -> None:
+        """Send a query-result under a ``cs.deliver`` span."""
+        with self.network.obs.tracer.span_if_active(
+                "cs.deliver", range=self.definition.name,
+                query=query_id, ok=bool(result.get("ok"))):
+            self.send(GUID.from_hex(subscriber_hex), "query-result", result)
+
     def _send_failure(self, query: Query, subscriber_hex: str, error: str) -> None:
-        self.send(GUID.from_hex(subscriber_hex), "query-result", {
+        self._send_result(query.query_id, subscriber_hex, {
             "query_id": query.query_id, "ok": False, "error": error,
         })
 
@@ -359,7 +401,7 @@ class ContextServer(Process):
 
     def _execute_profile(self, query: Query, subscriber_hex: str) -> None:
         matches = self._matching_records(query)
-        self.send(GUID.from_hex(subscriber_hex), "query-result", {
+        self._send_result(query.query_id, subscriber_hex, {
             "query_id": query.query_id,
             "ok": True,
             "mode": "profile",
@@ -412,7 +454,7 @@ class ContextServer(Process):
             self.queries_failed += 1
         else:
             result["selected"] = _candidate_to_wire(chosen)
-        self.send(GUID.from_hex(subscriber_hex), "query-result", result)
+        self._send_result(query.query_id, subscriber_hex, result)
 
     def _build_candidates(self, query: Query) -> List[Candidate]:
         where_rooms = self._where_rooms(query)

@@ -97,6 +97,58 @@ class TestUnrepairableFailure:
         assert "unrepairable" in failures[0]["error"]
 
 
+class TestRepairTracing:
+    """C1 observed through the trace store instead of ad-hoc counters."""
+
+    def test_repair_span_appears_with_bounded_latency(self, deployment):
+        sci, app, sensors, _ = deployment
+        sci.walk("bob", "L10.01")
+        sci.run(30)
+        tracer = sci.network.obs.tracer
+        assert tracer.find_spans("config.repair") == []
+        failure_at = sci.now
+        sci.injector.crash(sensors["door:corridor--L10.01"])
+        sci.run(30)
+        repairs = tracer.find_spans("config.repair")
+        assert repairs, "a repair span must root a new trace"
+        span = repairs[0]
+        assert span.closed
+        assert span.attributes["outcome"] == "repaired"
+        assert span.attributes["range"] == "livingstone"
+        # detection (lease expiry) dominates; re-composition is in-span
+        latency = span.start - failure_at
+        assert 0 < latency < 10.0 + 10.0  # lease + sweep slack
+
+    def test_delivery_resumes_after_repair_span(self, deployment):
+        sci, app, sensors, _ = deployment
+        sci.walk("bob", "L10.01")
+        sci.run(30)
+        sci.injector.crash(sensors["door:corridor--L10.01"])
+        sci.run(30)
+        span = sci.network.obs.tracer.find_spans("config.repair")[0]
+        before = len(app.events_of_type("location"))
+        sci.walk("bob", "corridor")
+        sci.walk("bob", "L10.02")
+        sci.run(40)
+        fresh = app.events_of_type("location")[before:]
+        assert fresh, "the stream must resume after the repair"
+        assert all(event.timestamp >= span.end for event in fresh)
+
+    def test_repair_metric_agrees_with_trace(self, deployment):
+        sci, app, sensors, _ = deployment
+        sci.walk("bob", "L10.01")
+        sci.run(30)
+        for sensor in sensors.values():
+            sci.injector.crash(sensor)
+        sci.run(60)
+        tracer = sci.network.obs.tracer
+        repaired = [span for span in tracer.find_spans("config.repair")
+                    if span.attributes.get("outcome") == "repaired"]
+        counter = sci.network.obs.metrics.get("config.repairs")
+        assert counter is not None
+        assert counter.value(range="livingstone") == len(repaired) > 0
+
+
 class TestMessageLossResilience:
     def test_stream_survives_loss_episode(self, deployment):
         sci, app, sensors, _ = deployment

@@ -34,6 +34,41 @@ class TestMessageStats:
         assert stats.mean_host_load == 0.0
 
 
+class TestBoundedLatencyMemory:
+    def test_latencies_stay_flat_counts_stay_exact(self):
+        """The old unbounded ``latencies`` list is now a reservoir: 100k
+        observations keep at most the reservoir's worth of samples while the
+        exact count, total and extremes survive."""
+        stats = MessageStats(latency_reservoir=512)
+        n = 100_000
+        for index in range(n):
+            stats.record_delivery("host", float(index % 97))
+        assert len(stats.latencies) == 512  # memory-flat
+        assert stats.latency_count == n     # exact
+        assert stats.delivered == n
+        summary = stats.latency_summary()
+        assert summary["count"] == n
+        assert summary["min"] == 0.0
+        assert summary["max"] == 96.0
+        assert 0 <= summary["p50"] <= 96
+
+    def test_small_runs_keep_every_sample(self):
+        stats = MessageStats()
+        for value in (1.0, 2.0, 3.0):
+            stats.record_delivery("h", value)
+        assert sorted(stats.latencies) == [1.0, 2.0, 3.0]
+        assert stats.latency_count == 3
+
+    def test_shared_registry_series_are_visible(self):
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        stats = MessageStats(registry=registry)
+        stats.record_send("query")
+        stats.record_delivery("host-a", 1.5)
+        assert registry.get("net.messages.sent").value(kind="query") == 1
+        assert "net.delivery.latency" in registry
+
+
 class TestPercentile:
     def test_median_of_odd(self):
         assert percentile([3, 1, 2], 0.5) == 2

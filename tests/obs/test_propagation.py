@@ -1,0 +1,104 @@
+"""Trace propagation across processes: messages carry and re-activate
+context, so multi-hop overlay operations produce one connected trace."""
+
+import pytest
+
+from repro.core.ids import GUID
+from repro.net.transport import FixedLatency, FunctionProcess, Network
+from repro.overlay.scinet import SCINet
+
+
+@pytest.fixture
+def net():
+    return Network(latency_model=FixedLatency(1.0), seed=3)
+
+
+class TestMessagePropagation:
+    def test_send_stamps_ambient_context(self, net):
+        net.add_host("h")
+        received = []
+        a = FunctionProcess(net.guids.mint(), "h", net, received.append, "a")
+        b = FunctionProcess(net.guids.mint(), "h", net, received.append, "b")
+        with net.obs.tracer.span("op") as span:
+            a.send(b.guid, "ping")
+        net.run_until_idle()
+        assert received[0].trace == {"trace": span.trace_id,
+                                     "span": span.span_id}
+
+    def test_untraced_send_carries_no_context(self, net):
+        net.add_host("h")
+        received = []
+        a = FunctionProcess(net.guids.mint(), "h", net, received.append, "a")
+        b = FunctionProcess(net.guids.mint(), "h", net, received.append, "b")
+        a.send(b.guid, "ping")
+        net.run_until_idle()
+        assert received[0].trace is None
+
+    def test_handler_spans_join_senders_trace(self, net):
+        net.add_host("h")
+        tracer = net.obs.tracer
+
+        def handle(message):
+            with tracer.span_if_active("handle"):
+                pass
+
+        a = FunctionProcess(net.guids.mint(), "h", net, lambda m: None, "a")
+        b = FunctionProcess(net.guids.mint(), "h", net, handle, "b")
+        with tracer.span("op") as root:
+            a.send(b.guid, "ping")
+        net.run_until_idle()
+        trace = tracer.trace(root.trace_id)
+        assert trace.is_connected()
+        assert [span.name for span in trace] == ["op", "handle"]
+
+
+@pytest.fixture
+def overlay_pair(net):
+    """A 2-range SCINET (the smallest multi-hop deployment)."""
+    sci = SCINet(net)
+    node_a = sci.create_node("host-a", range_name="rangeA")
+    node_b = sci.create_node("host-b", range_name="rangeB")
+    return sci, node_a, node_b
+
+
+class TestOverlayRoundTrip:
+    def test_route_produces_connected_trace(self, net, overlay_pair):
+        sci, node_a, node_b = overlay_pair
+        # a key owned by B, routed from A: guaranteed >= 1 network hop
+        node_a.route(node_b.guid, "probe", {})
+        net.run_until_idle()
+        roots = net.obs.tracer.find_spans("overlay.route")
+        origin = [span for span in roots if span.attributes.get("origin")]
+        assert origin
+        trace = net.obs.tracer.trace_of(origin[0])
+        assert trace.is_connected()
+        assert trace.depth() >= 2  # origin span + at least the hop at B
+
+    def test_dht_round_trip_single_trace(self, net, overlay_pair):
+        """put + get: request hops AND the o-delivery reply stay in-trace."""
+        sci, node_a, node_b = overlay_pair
+        name = "places/L10"
+        owner = sci.closest_node(GUID.from_name(name))
+        other = node_b if owner is node_a else node_a
+        other.dht_put(name, "cs-hex")
+        net.run_until_idle()
+        other.dht_get(name)
+        net.run_until_idle()
+        # the get's trace: origin route span, hop spans, delivery back
+        deliver = net.obs.tracer.find_spans("overlay.deliver")
+        assert deliver, "the dht-result must come back under the trace"
+        trace = net.obs.tracer.trace_of(deliver[-1])
+        assert trace.is_connected()
+        names = {span.name for span in trace}
+        assert names <= {"overlay.route", "overlay.deliver"}
+        # every span closed, and the trace spans real simulated time
+        assert all(span.closed for span in trace)
+        assert trace.duration() > 0
+
+    def test_untraced_background_chatter_mints_no_traces(self, net,
+                                                         overlay_pair):
+        sci, node_a, node_b = overlay_pair
+        before = len(net.obs.tracer.traces())
+        node_a.lookup_place("nowhere")  # outside any trace
+        net.run_until_idle()
+        assert len(net.obs.tracer.traces()) == before

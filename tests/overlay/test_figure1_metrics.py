@@ -1,0 +1,90 @@
+"""Figure-1 claim shape asserted from instrumented metrics (regression).
+
+These read the ``overlay.node.load`` / ``hierarchy.node.load`` counters and
+the ``fig1.route.hops`` histogram out of the run's metrics snapshot — the
+same series the exported bench artefact carries — rather than ad-hoc
+counters, so the bench JSON and the test suite can never disagree.
+"""
+
+import pytest
+
+from repro.obs.experiments import (
+    FIG1_HOPS,
+    check_hotspot_claim,
+    check_log_growth_claim,
+    figure1_artifact,
+    histogram_summary,
+    run_hierarchy_instrumented,
+    run_overlay_instrumented,
+    series_values,
+)
+from repro.obs.export import validate_metrics_artifact
+
+N = 64
+MESSAGES = 120
+
+
+@pytest.fixture(scope="module")
+def overlay_run():
+    return run_overlay_instrumented(N, MESSAGES)
+
+
+@pytest.fixture(scope="module")
+def hierarchy_run():
+    return run_hierarchy_instrumented(N, MESSAGES)
+
+
+class TestHotspotClaim:
+    def test_hierarchy_root_exceeds_overlay_max(self, overlay_run,
+                                                hierarchy_run):
+        """At 64 ranges the tree's root handles more traffic than the
+        busiest overlay node — the bottleneck the paper's overlay removes."""
+        tree_loads = series_values(hierarchy_run["metrics"],
+                                   "hierarchy.node.load")
+        root_load = max(load for node, load in tree_loads.items()
+                        if node.endswith("/root"))
+        overlay_loads = series_values(overlay_run["metrics"],
+                                      "overlay.node.load")
+        assert root_load > max(overlay_loads.values())
+
+    def test_root_is_the_tree_hotspot(self, hierarchy_run):
+        loads = series_values(hierarchy_run["metrics"], "hierarchy.node.load")
+        root_load = max(load for node, load in loads.items()
+                        if node.endswith("/root"))
+        assert root_load == max(loads.values())
+
+    def test_overlay_load_balanced(self, overlay_run):
+        loads = list(series_values(overlay_run["metrics"],
+                                   "overlay.node.load").values())
+        mean = sum(loads) / len(loads)
+        assert max(loads) / mean < 5.0  # no node dominates
+
+    def test_both_systems_delivered_everything(self, overlay_run,
+                                               hierarchy_run):
+        for run in (overlay_run, hierarchy_run):
+            hops = histogram_summary(run["metrics"], FIG1_HOPS)
+            assert hops["count"] == MESSAGES
+
+
+class TestLogGrowthClaim:
+    def test_hops_grow_logarithmically(self, overlay_run):
+        small = run_overlay_instrumented(8, MESSAGES)
+        small_hops = histogram_summary(small["metrics"], FIG1_HOPS)["mean"]
+        large_hops = histogram_summary(overlay_run["metrics"],
+                                       FIG1_HOPS)["mean"]
+        # 8x more nodes => ~log16(8)=0.75 extra prefix digits, not 8x hops
+        assert large_hops < small_hops + 2.5
+
+    def test_hop_count_bounded_by_ring_size(self, overlay_run):
+        hops = histogram_summary(overlay_run["metrics"], FIG1_HOPS)
+        assert hops["max"] <= 8  # far below the 64-hop drop guard
+
+
+class TestArtifactAgreement:
+    def test_offline_checkers_reproduce_the_shape(self):
+        """The claim checkers reach the same verdicts from the artefact
+        document alone that the tests above reach from live runs."""
+        artifact = figure1_artifact(sizes=(8, N), messages=MESSAGES)
+        validate_metrics_artifact(artifact)
+        assert check_hotspot_claim(artifact, N)["ok"]
+        assert check_log_growth_claim(artifact, 8, N)["ok"]
