@@ -1,0 +1,238 @@
+"""PERF — Indexed hot-path dispatch vs the pre-index linear scans.
+
+Two hot paths, each measured before/after:
+
+* **Publish fan-out** — a mediator holding N subscriptions with selective
+  (type, subject) filters plus a small residual fraction of Or-filters.
+  The naive path evaluates every filter per publish (O(N)); the indexed
+  path looks up dict buckets (O(matching + residual)).
+* **Query resolution** — a resolver over N source profiles spread across
+  many offered types. The naive path rescans every profile per candidate
+  step; the indexed path reads one type bucket from a version-cached index.
+
+Scales run 100 -> 10k. Results land in ``results/bench_perf_dispatch.txt``
+(human-readable) and ``results/BENCH_dispatch.json`` (machine baseline for
+future PRs' perf trajectory). The acceptance gate asserts >= 5x publish
+fan-out throughput at 10k subscriptions.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_perf_dispatch.py -q -s``
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.core.ids import GuidFactory
+from repro.core.types import TypeRegistry, TypeSpec
+from repro.composition.resolver import QueryResolver
+from repro.composition.templates import TemplateRegistry
+from repro.entities.profile import EntityClass, Profile
+from repro.events.event import ContextEvent
+from repro.events.filters import AndFilter, OrFilter, SubjectFilter, TypeFilter
+from repro.events.mediator import EventMediator
+from repro.net.transport import FixedLatency, Network
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINE_PATH = RESULTS_DIR / "BENCH_dispatch.json"
+
+PUBLISH_SCALES = (100, 1_000, 10_000)
+RESOLVE_SCALES = (100, 1_000, 10_000)
+#: fraction of subscriptions with non-analysable filters (stress residual)
+RESIDUAL_FRACTION = 0.01
+#: required speedup at the top publish scale (the PR's acceptance gate)
+REQUIRED_SPEEDUP = 5.0
+
+
+# -- publish fan-out -----------------------------------------------------------
+
+def build_mediator(n_subscriptions, indexed):
+    """A mediator with N subscriptions: selective filters + tiny residual."""
+    net = Network(latency_model=FixedLatency(0.5), seed=3)
+    net.add_host("bench")
+    guids = GuidFactory(seed=13)
+    mediator = EventMediator(guids.mint(), "bench", net, "bench",
+                             indexed=indexed)
+    sink = guids.mint()  # deliveries to an absent process are dropped on arrival
+    n_subjects = 100
+    n_types = max(10, n_subscriptions // n_subjects)
+    residual_every = max(2, int(1 / RESIDUAL_FRACTION))
+    for i in range(n_subscriptions):
+        # distinct (type, subject) pairs: selective filters, ~1 match/event
+        type_name = f"t{(i // n_subjects) % n_types}"
+        subject = f"s{i % n_subjects}"
+        if i % residual_every == 0:
+            event_filter = OrFilter([TypeFilter(type_name),
+                                     SubjectFilter(subject)])
+        else:
+            event_filter = AndFilter([TypeFilter(type_name),
+                                      SubjectFilter(subject)])
+        mediator.add_subscription(sink, event_filter, replay_retained=False)
+    return net, mediator, n_types, n_subjects
+
+
+def measure_publish(n_subscriptions, indexed, publishes):
+    net, mediator, n_types, n_subjects = build_mediator(n_subscriptions, indexed)
+    source = GuidFactory(seed=23).mint()
+    combos = n_types * n_subjects
+    events = []
+    for i in range(publishes):
+        combo = (i * 37) % combos  # stride over (type, subject) space
+        events.append(ContextEvent(
+            TypeSpec(f"t{combo // n_subjects}", "raw", f"s{combo % n_subjects}"),
+            i, source, 0.0))
+    start = time.perf_counter()
+    delivered = 0
+    for event in events:
+        delivered += mediator.publish(event)
+    elapsed = time.perf_counter() - start
+    net.scheduler.run_until_idle()  # drain queued deliveries, untimed
+    return {
+        "publishes": publishes,
+        "delivered": delivered,
+        "eps": publishes / elapsed if elapsed else float("inf"),
+        "stats": mediator.index_stats(),
+        "metrics": net.obs.metrics,
+    }
+
+
+# -- query resolution ----------------------------------------------------------
+
+def build_resolver(n_profiles, indexed, cached=True):
+    """A resolver over N single-output source profiles across many types."""
+    registry = TypeRegistry()
+    n_types = max(10, n_profiles // 50)
+    for i in range(n_types):
+        registry.define(f"sense-{i}")
+    guids = GuidFactory(seed=31)
+    profiles = [
+        Profile(guids.mint(), f"src-{i}", EntityClass.DEVICE,
+                outputs=[TypeSpec(f"sense-{i % n_types}", "raw", f"s{i}")])
+        for i in range(n_profiles)
+    ]
+    resolver = QueryResolver(
+        registry,
+        live_profiles=lambda: profiles,
+        templates=TemplateRegistry(),
+        indexed=indexed,
+        feed_version=(lambda: 0) if cached else None,
+    )
+    return resolver, n_types
+
+
+def measure_resolve(n_profiles, indexed, resolves):
+    resolver, n_types = build_resolver(n_profiles, indexed)
+    latencies = []
+    for i in range(resolves):
+        wanted = TypeSpec(f"sense-{i % n_types}", "raw", f"s{i % n_profiles}")
+        start = time.perf_counter()
+        resolver.resolve(wanted)
+        latencies.append((time.perf_counter() - start) * 1000.0)
+    ordered = sorted(latencies)
+    return {
+        "resolves": resolves,
+        "p50_ms": ordered[len(ordered) // 2],
+        "p95_ms": ordered[min(len(ordered) - 1, int(len(ordered) * 0.95))],
+        "rebuilds": resolver.index_rebuilds,
+    }
+
+
+# -- the report ----------------------------------------------------------------
+
+class TestReportDispatchPerf:
+    def test_report_publish_fanout(self, report):
+        baseline = _load_baseline()
+        report("")
+        report("PERF  publish fan-out: indexed dispatch vs linear scan "
+               f"({int(RESIDUAL_FRACTION * 100)}% residual filters)")
+        report(f"{'subs':>6} | {'naive ev/s':>12} {'indexed ev/s':>13} "
+               f"{'speedup':>8} | {'hits':>8} {'residual':>9}")
+        for scale in PUBLISH_SCALES:
+            publishes = max(50, min(2_000, 200_000 // scale))
+            naive = measure_publish(scale, indexed=False, publishes=publishes)
+            indexed = measure_publish(scale, indexed=True, publishes=publishes)
+            assert naive["delivered"] == indexed["delivered"] > 0
+            speedup = indexed["eps"] / naive["eps"]
+            hits = indexed["metrics"].counter(
+                "mediator.index.hits", labels=("range",)).total()
+            residual = indexed["metrics"].counter(
+                "mediator.index.residual_scans", labels=("range",)).total()
+            report(f"{scale:>6} | {naive['eps']:>12.0f} {indexed['eps']:>13.0f} "
+                   f"{speedup:>7.1f}x | {hits:>8.0f} {residual:>9.0f}")
+            baseline["publish"].append({
+                "subscriptions": scale,
+                "publishes": publishes,
+                "naive_eps": round(naive["eps"], 1),
+                "indexed_eps": round(indexed["eps"], 1),
+                "speedup": round(speedup, 2),
+                "index_hits": hits,
+                "residual_scans": residual,
+            })
+            assert hits > 0
+            if scale == max(PUBLISH_SCALES):
+                assert speedup >= REQUIRED_SPEEDUP, (
+                    f"indexed dispatch only {speedup:.1f}x faster at "
+                    f"{scale} subscriptions (need >= {REQUIRED_SPEEDUP}x)")
+        _save_baseline(baseline)
+
+    def test_report_resolve_latency(self, report):
+        baseline = _load_baseline()
+        report("")
+        report("PERF  resolve latency: profile index vs full profile scan")
+        report(f"{'profiles':>9} | {'naive p50':>10} {'p95':>8} | "
+               f"{'indexed p50':>11} {'p95':>8} | {'speedup':>8}")
+        for scale in RESOLVE_SCALES:
+            resolves = max(10, min(200, 20_000 // scale))
+            naive = measure_resolve(scale, indexed=False, resolves=resolves)
+            indexed = measure_resolve(scale, indexed=True, resolves=resolves)
+            speedup = (naive["p50_ms"] / indexed["p50_ms"]
+                       if indexed["p50_ms"] else float("inf"))
+            report(f"{scale:>9} | {naive['p50_ms']:>8.3f}ms "
+                   f"{naive['p95_ms']:>6.3f}ms | {indexed['p50_ms']:>9.3f}ms "
+                   f"{indexed['p95_ms']:>6.3f}ms | {speedup:>7.1f}x")
+            baseline["resolve"].append({
+                "profiles": scale,
+                "resolves": resolves,
+                "naive_p50_ms": round(naive["p50_ms"], 4),
+                "naive_p95_ms": round(naive["p95_ms"], 4),
+                "indexed_p50_ms": round(indexed["p50_ms"], 4),
+                "indexed_p95_ms": round(indexed["p95_ms"], 4),
+                "speedup_p50": round(speedup, 2),
+            })
+            # a version-stable feed must build the index exactly once
+            assert indexed["rebuilds"] == 1
+        _save_baseline(baseline)
+
+
+def _load_baseline():
+    if BASELINE_PATH.exists():
+        with open(BASELINE_PATH, encoding="utf-8") as handle:
+            document = json.load(handle)
+        # re-runs replace their own section, keeping the other's last values
+        return {"schema": "sci.bench.dispatch/1",
+                "publish": [], "resolve": [],
+                "previous": {k: document.get(k) for k in ("publish", "resolve")}}
+    return {"schema": "sci.bench.dispatch/1", "publish": [], "resolve": []}
+
+
+def _save_baseline(document):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    merged = {"schema": document["schema"]}
+    previous = document.pop("previous", {})
+    for section in ("publish", "resolve"):
+        merged[section] = document[section] or previous.get(section) or []
+    with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# -- microbenchmarks (pytest-benchmark, optional) ------------------------------
+
+@pytest.mark.parametrize("scale", [1_000, 10_000])
+def test_bench_indexed_publish(benchmark, scale):
+    net, mediator, n_types, n_subjects = build_mediator(scale, indexed=True)
+    source = GuidFactory(seed=23).mint()
+    event = ContextEvent(TypeSpec("t1", "raw", "s1"), 1, source, 0.0)
+    benchmark(mediator.publish, event)
+    net.scheduler.run_until_idle()

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Perf smoke gate: the hot paths must actually hit their indexes.
+
+Runs the dispatch benchmark's workloads at a small scale and asserts the
+structural properties a refactor could silently regress:
+
+* the mediator's exact-match buckets serve candidates (``mediator.index.hits``
+  non-zero) and the residual-scan fraction stays below a threshold — a change
+  that de-indexes selective filters (e.g. by breaking filter analysis) fails
+  here long before production-scale latencies would reveal it;
+* indexed and naive dispatch deliver the same number of events;
+* the resolver's profile index is built once under a stable feed version and
+  serves every candidate lookup (``resolver.index.*`` via its counters);
+* the registrar sweeps leases through the expiry heap (pops observed, no
+  full-scan fallback to reintroduce).
+
+Exits non-zero on any failure, so CI can gate on it. Usage::
+
+    PYTHONPATH=src python scripts/smoke_perf.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.bench_perf_dispatch import (  # noqa: E402
+    build_resolver,
+    measure_publish,
+)
+from repro.core.ids import GuidFactory  # noqa: E402
+from repro.core.types import TypeSpec  # noqa: E402
+from repro.net.transport import FixedLatency, Network  # noqa: E402
+from repro.server.registrar import Registrar  # noqa: E402
+
+SCALE = 500
+PUBLISHES = 200
+#: indexed dispatch may scan at most this fraction of the candidates the
+#: naive linear scan would visit (publishes x subscriptions). If filter
+#: analysis silently breaks, every subscription lands in the residual list
+#: and the fraction goes to 1.0 — far above this gate.
+MAX_SCAN_FRACTION = 0.25
+#: share of subscriptions allowed to fall to the residual list when the
+#: workload's filters are 99% exact-match conjunctions
+MAX_RESIDUAL_SUBSCRIPTIONS = 0.05
+
+
+def check(condition, label):
+    status = "ok" if condition else "FAIL"
+    print(f"smoke-perf: {status} — {label}")
+    return bool(condition)
+
+
+def main() -> int:
+    ok = True
+
+    print(f"smoke-perf: publish fan-out at {SCALE} subscriptions...")
+    naive = measure_publish(SCALE, indexed=False, publishes=PUBLISHES)
+    indexed = measure_publish(SCALE, indexed=True, publishes=PUBLISHES)
+    hits = indexed["metrics"].counter(
+        "mediator.index.hits", labels=("range",)).total()
+    residual = indexed["metrics"].counter(
+        "mediator.index.residual_scans", labels=("range",)).total()
+    naive_scans = PUBLISHES * SCALE  # the linear scan visits every filter
+    scan_fraction = (hits + residual) / naive_scans
+    ok &= check(indexed["delivered"] == naive["delivered"],
+                f"indexed delivers exactly the naive count "
+                f"({indexed['delivered']})")
+    ok &= check(hits > 0, f"mediator.index.hits non-zero ({hits:.0f})")
+    ok &= check(scan_fraction <= MAX_SCAN_FRACTION,
+                f"scanned {scan_fraction:.3f} of the naive candidate set "
+                f"(<= {MAX_SCAN_FRACTION})")
+    stats = indexed["stats"]
+    residual_share = stats["residual_subscriptions"] / SCALE
+    ok &= check(residual_share <= MAX_RESIDUAL_SUBSCRIPTIONS,
+                f"residual subscriptions {residual_share:.3f} of total "
+                f"(<= {MAX_RESIDUAL_SUBSCRIPTIONS}; "
+                f"{stats['indexed_subscriptions']} indexed, "
+                f"{stats['residual_subscriptions']} residual)")
+
+    print(f"smoke-perf: resolver index at {SCALE} profiles...")
+    resolver, n_types = build_resolver(SCALE, indexed=True)
+    for i in range(10):
+        resolver.resolve(TypeSpec(f"sense-{i % n_types}", "raw", f"s{i}"))
+    ok &= check(resolver.index_rebuilds == 1,
+                f"profile index built once under a stable feed "
+                f"({resolver.index_rebuilds} rebuilds)")
+    ok &= check(resolver.index_hits >= 10,
+                f"candidate lookups served from the index "
+                f"({resolver.index_hits} hits)")
+
+    print("smoke-perf: registrar lease sweep...")
+    net = Network(latency_model=FixedLatency(0.5), seed=7)
+    net.add_host("h")
+    guids = GuidFactory(seed=41)
+    registrar = Registrar(guids.mint(), "h", net, "smoke",
+                          context_server=guids.mint(),
+                          event_mediator=guids.mint(),
+                          lease_duration=10.0, sweep_interval=2.0)
+    from repro.entities.profile import Profile  # noqa: E402
+    from repro.server.registrar import RegistrationRecord  # noqa: E402
+    for i in range(20):
+        profile = Profile(guids.mint(), f"ce-{i}")
+        registrar.register_record(RegistrationRecord(
+            profile=profile, kind="ce", registered_at=net.scheduler.now,
+            lease_expiry=net.scheduler.now + 10.0), notify=False)
+    net.scheduler.run_for(30)
+    pops = net.obs.metrics.counter(
+        "registrar.expiry.pops", labels=("range",)).value(range="smoke")
+    ok &= check(pops >= 20, f"expiry heap popped ({pops:.0f} pops)")
+    ok &= check(registrar.evictions == 20,
+                f"all unrenewed leases evicted ({registrar.evictions})")
+
+    if not ok:
+        print("smoke-perf: FAIL")
+        return 1
+    print("smoke-perf: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

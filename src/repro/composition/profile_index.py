@@ -1,0 +1,101 @@
+"""Offered-output-type index over CE profiles for the Query Resolver.
+
+The naive ``_candidates`` step rescans every live profile and template for
+every ``_satisfy`` call — and backward chaining calls ``_satisfy`` once per
+input edge, so one resolve is O(plan_edges x profiles). This index buckets
+each (profile, offered output) pair under the offered type name *and all of
+its is_a ancestors*, because :meth:`TypeRegistry.conversion_path` lets a
+subtype stand in for its parent (``gps-position`` satisfies a wanted
+``location``). A candidate query for ``wanted`` then reads exactly the
+``wanted.type_name`` bucket.
+
+Soundness: the bucket is a pre-filter only. Representation bridging, subject
+compatibility and converter search still run per entry via
+``conversion_path``, so results are identical to the full scan — entries are
+stored in enumeration order (live profiles first, templates after, outputs
+in profile order), which makes the candidate list a subsequence of the naive
+scan's and keeps the final score-sort stable-tie-identical.
+
+Outputs whose type the registry does not know cannot be filed under
+ancestors; they go to a residual list scanned on every query, which
+reproduces the naive behaviour (``conversion_path`` raising for unknown
+types at query time) exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.errors import SCIError
+from repro.core.types import TypeRegistry, TypeSpec
+from repro.composition.templates import TemplateRegistry
+from repro.entities.profile import Profile
+
+
+@dataclass(frozen=True)
+class ProviderEntry:
+    """One (profile, offered output) pair the resolver may draw on."""
+
+    profile: Profile
+    offered: TypeSpec
+    offered_position: int       # index into profile.outputs, for first-match rule
+    origin: str                 # "live" | "template"
+    entity_hex: Optional[str]   # for live
+    template_name: Optional[str]  # for template
+
+
+class ProfileIndex:
+    """Type-keyed provider buckets, rebuilt only when the feed changes.
+
+    The owner (the resolver) decides *when* to rebuild — typically gated on
+    registrar/template version counters so registrations, departures and
+    lease expiries invalidate the index instead of every query paying a
+    rebuild.
+    """
+
+    def __init__(self, registry: TypeRegistry):
+        self.registry = registry
+        self._buckets: Dict[str, List[ProviderEntry]] = {}
+        self._residual: List[ProviderEntry] = []
+        self.entries = 0
+
+    def rebuild(self, live_profiles: List[Profile],
+                templates: TemplateRegistry) -> None:
+        self._buckets = {}
+        self._residual = []
+        self.entries = 0
+        for profile in live_profiles:
+            self._add_profile(profile, "live", profile.entity_id.hex, None)
+        for template in templates.all_templates():
+            self._add_profile(template.prototype, "template", None, template.name)
+
+    def _add_profile(self, profile: Profile, origin: str,
+                     entity_hex: Optional[str],
+                     template_name: Optional[str]) -> None:
+        for position, offered in enumerate(profile.outputs):
+            entry = ProviderEntry(profile, offered, position, origin,
+                                  entity_hex, template_name)
+            self.entries += 1
+            try:
+                ancestors = self.registry.ancestors(offered.type_name)
+            except SCIError:
+                self._residual.append(entry)
+                continue
+            for type_name in ancestors:
+                self._buckets.setdefault(type_name, []).append(entry)
+
+    def providers(self, type_name: str) -> List[ProviderEntry]:
+        """Entries whose offered output could satisfy ``type_name``.
+
+        Bucketed entries first (enumeration order), then the residual list —
+        the same relative order the naive scan visits them in.
+        """
+        bucket = self._buckets.get(type_name, [])
+        if not self._residual:
+            return bucket
+        return bucket + self._residual
+
+    @property
+    def residual_size(self) -> int:
+        return len(self._residual)

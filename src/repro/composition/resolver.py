@@ -31,6 +31,7 @@ from repro.core.errors import CompositionError, NoProviderError
 from repro.core.types import Converter, TypeRegistry, TypeSpec
 from repro.composition.binding import BindingRule, binding_rule_of
 from repro.composition.graph import ConfigurationPlan, PlanNode
+from repro.composition.profile_index import ProfileIndex
 from repro.composition.templates import TemplateRegistry
 from repro.entities.profile import Profile
 
@@ -38,6 +39,9 @@ logger = logging.getLogger(__name__)
 
 #: hard bound on provider chain depth — a cycle guard of last resort
 MAX_DEPTH = 12
+
+#: sentinel: the profile index has not been built yet
+_NEVER_BUILT = object()
 
 
 @dataclass
@@ -68,6 +72,16 @@ class QueryResolver:
     Profile Manager's view); ``bindings_of`` reports the parameter bindings
     a live CE is already claimed with (the Configuration Manager's ledger),
     so two queries cannot bind one CE to different subjects.
+
+    Candidate search runs over a :class:`ProfileIndex` keyed by offered
+    output type. ``feed_version`` is the invalidation signal: a callable
+    returning a token that changes whenever the profile feed changes
+    (registrations, departures, lease expiries, template additions — the
+    Context Server wires registrar + template version counters here). While
+    the token is stable, queries reuse the built index; without a version
+    feed the index is rebuilt once per ``resolve`` call, which is still
+    never worse than the pre-index full scan. ``indexed=False`` keeps the
+    original linear scan alive for benchmarking.
     """
 
     def __init__(
@@ -76,14 +90,26 @@ class QueryResolver:
         live_profiles: Callable[[], List[Profile]],
         templates: Optional[TemplateRegistry] = None,
         bindings_of: Optional[Callable[[str], Optional[Dict[str, object]]]] = None,
+        feed_version: Optional[Callable[[], object]] = None,
+        indexed: bool = True,
+        metrics=None,
+        range_name: str = "",
     ):
         self.registry = registry
         self.live_profiles = live_profiles
         self.templates = templates or TemplateRegistry()
         self.bindings_of = bindings_of or (lambda _hex: None)
+        self.feed_version = feed_version
+        self.indexed = indexed
         self._converter_counter = itertools.count(1)
         self.resolutions = 0
         self.backtracks = 0
+        self.index_rebuilds = 0
+        self.index_hits = 0
+        self._index = ProfileIndex(registry)
+        self._index_token: object = _NEVER_BUILT
+        self._metrics = metrics
+        self._range_label = range_name or "-"
 
     # -- public API ---------------------------------------------------------------
 
@@ -173,6 +199,26 @@ class QueryResolver:
             raise NoProviderError(wanted, chain)
         return wired
 
+    def _ensure_index(self) -> None:
+        """Rebuild the profile index only when the feed version moved.
+
+        Without a ``feed_version`` wire the resolution counter is the token,
+        i.e. one rebuild per top-level ``resolve`` — backwards compatible
+        with callers handing in a mutable profile list.
+        """
+        token = (self.feed_version() if self.feed_version is not None
+                 else self.resolutions)
+        if token == self._index_token:
+            return
+        self._index.rebuild(self.live_profiles(), self.templates)
+        self._index_token = token
+        self.index_rebuilds += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "resolver.index.rebuilds",
+                "profile index rebuilds triggered by feed changes",
+                labels=("range",)).inc(range=self._range_label)
+
     def _candidates(
         self,
         wanted: TypeSpec,
@@ -180,6 +226,49 @@ class QueryResolver:
         exclude: FrozenSet[str],
         predicate: Optional[Callable[[Profile], bool]],
     ) -> List[_Candidate]:
+        if not self.indexed:
+            return self._candidates_naive(wanted, chain, exclude, predicate)
+        self._ensure_index()
+        self.index_hits += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "resolver.index.hits",
+                "candidate lookups served from the profile index",
+                labels=("range",)).inc(range=self._range_label)
+        found: List[_Candidate] = []
+        taken: Set[Tuple[str, Optional[str]]] = set()
+        for entry in self._index.providers(wanted.type_name):
+            if entry.origin == "live":
+                if entry.entity_hex in exclude:
+                    continue
+            elif entry.template_name in exclude:
+                continue
+            provider_key = (entry.origin, entry.entity_hex or entry.template_name)
+            if provider_key in taken:
+                continue  # an earlier output of this provider already matched
+            profile = entry.profile
+            if profile.name in chain:
+                continue  # would create a cycle through this provider kind
+            if predicate is not None and not predicate(profile):
+                continue
+            conversion = self.registry.conversion_path(entry.offered, wanted)
+            if conversion is None:
+                continue
+            taken.add(provider_key)
+            found.append(_Candidate(profile, entry.offered, tuple(conversion),
+                                    entry.origin, entry.entity_hex,
+                                    entry.template_name))
+        found.sort(key=_Candidate.score)
+        return found
+
+    def _candidates_naive(
+        self,
+        wanted: TypeSpec,
+        chain: Tuple[str, ...],
+        exclude: FrozenSet[str],
+        predicate: Optional[Callable[[Profile], bool]],
+    ) -> List[_Candidate]:
+        """The pre-index full scan; the benchmark/equivalence baseline."""
         found: List[_Candidate] = []
 
         def consider(profile: Profile, origin: str,

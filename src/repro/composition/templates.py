@@ -52,11 +52,14 @@ class TemplateRegistry:
 
     def __init__(self):
         self._templates: Dict[str, CETemplate] = {}
+        #: bumped on every registration; feeds resolver index invalidation
+        self.version = 0
 
     def register(self, template: CETemplate) -> CETemplate:
         if template.name in self._templates:
             raise CompositionError(f"duplicate template: {template.name!r}")
         self._templates[template.name] = template
+        self.version += 1
         return template
 
     def add(self, name: str, prototype: Profile, factory: CEFactory,

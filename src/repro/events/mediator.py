@@ -18,6 +18,14 @@ mediator exactly like local components do):
 Bridges republish matching events to a peer mediator in another range; a
 ``bridged`` marker stops an event from being re-bridged, so two mediators
 bridging each other do not loop.
+
+Dispatch is driven by a :class:`~repro.events.dispatch_index.DispatchIndex`:
+subscriptions and bridges whose filters carry exact type/subject/source
+constraints live in dict buckets, everything else in a small residual list,
+so a publish costs O(matching + residual) instead of O(all subscriptions).
+``indexed=False`` keeps the original linear scan alive for benchmarking and
+for the equivalence property suite; both paths must deliver identical
+(subscription, event) sequences.
 """
 
 from __future__ import annotations
@@ -31,10 +39,14 @@ from repro.core.ids import GUID
 from repro.net.message import Message
 from repro.net.transport import Network, Process
 from repro.events.event import ContextEvent
+from repro.events.dispatch_index import DispatchIndex
 from repro.events.filters import EventFilter, filter_from_spec
 from repro.events.subscription import Subscription
 
 logger = logging.getLogger(__name__)
+
+#: default bound on retained events per mediator; oldest-first eviction
+DEFAULT_RETAINED_CAP = 4096
 
 
 @dataclass
@@ -50,18 +62,56 @@ class Bridge:
 class EventMediator(Process):
     """Pub/sub hub for one range."""
 
-    def __init__(self, guid: GUID, host_id: str, network: Network, range_name: str = ""):
+    def __init__(self, guid: GUID, host_id: str, network: Network,
+                 range_name: str = "",
+                 retained_cap: int = DEFAULT_RETAINED_CAP,
+                 indexed: bool = True):
         super().__init__(guid, host_id, network, name=f"mediator:{range_name or guid}")
+        if retained_cap < 1:
+            raise ValueError(f"retained_cap must be >= 1, got {retained_cap}")
         self.range_name = range_name
+        self.retained_cap = retained_cap
+        self.indexed = indexed
         self._subscriptions: Dict[int, Subscription] = {}
         self._bridges: Dict[int, Bridge] = {}
         self._next_bridge_id = 1
+        self._sub_index = DispatchIndex()
+        self._bridge_index = DispatchIndex()
+        #: reverse maps so teardown by owner/subscriber is O(own subs), not O(S)
+        self._subs_by_owner: Dict[object, Dict[int, None]] = {}
+        self._subs_by_subscriber: Dict[GUID, Dict[int, None]] = {}
         self.published = 0
         self.deliveries = 0
+        self.retained_evictions = 0
         self.by_type: Counter = Counter()
         #: most recent event per (type, representation, subject) — served to
-        #: late joiners so a new subscriber does not wait for the next change
+        #: late joiners so a new subscriber does not wait for the next change.
+        #: Insertion-ordered; bounded by ``retained_cap`` with oldest-first
+        #: (first-retained) eviction. Updates stay in place, preserving the
+        #: replay order the naive scan produced.
         self._retained: Dict[tuple, ContextEvent] = {}
+        #: type_name -> ordered set of retained keys, so replay for a
+        #: type-constrained subscription scans only that type's entries
+        self._retained_by_type: Dict[str, Dict[tuple, None]] = {}
+        # hot-path counter handles, resolved once (registry lookup is not free)
+        metrics = network.obs.metrics
+        self._published_counter = metrics.counter(
+            "mediator.published", "events published per range", labels=("range",))
+        self._deliveries_counter = metrics.counter(
+            "mediator.deliveries", "matched events forwarded to subscribers",
+            labels=("range",))
+        self._index_hits_counter = metrics.counter(
+            "mediator.index.hits",
+            "dispatch candidates served from exact-match index buckets",
+            labels=("range",))
+        self._index_residual_counter = metrics.counter(
+            "mediator.index.residual_scans",
+            "dispatch candidates scanned from the non-indexable residual list",
+            labels=("range",))
+        self._retained_evicted_counter = metrics.counter(
+            "mediator.retained.evicted",
+            "retained events dropped by the oldest-first cap",
+            labels=("range",))
 
     # -- direct API (used by co-located Context Server and by tests) ---------
 
@@ -87,47 +137,113 @@ class EventMediator(Process):
             created_at=self.now,
         )
         self._subscriptions[subscription.sub_id] = subscription
+        constraints = self._sub_index.add(subscription.sub_id, event_filter)
+        if owner is not None:
+            self._reverse_add(self._subs_by_owner, owner, subscription.sub_id)
+        self._reverse_add(self._subs_by_subscriber, subscriber, subscription.sub_id)
         if replay_retained:
-            for event in list(self._retained.values()):
-                if subscription.active and event_filter.matches(event):
-                    self._deliver(subscription, event)
+            self._replay_retained(subscription, constraints)
             if not subscription.active:
-                self._subscriptions.pop(subscription.sub_id, None)
+                self._drop_subscription(subscription)
         return subscription
 
+    def _replay_retained(self, subscription: Subscription, constraints) -> None:
+        """Deliver retained events matching a fresh subscription.
+
+        A type-constrained filter only ever matches events of that type, so
+        the per-type retained index bounds the scan; per-type insertion order
+        equals the global insertion order restricted to that type, keeping
+        replay order identical to the pre-index full scan.
+        """
+        if self.indexed and constraints.type_name is not None:
+            keys = list(self._retained_by_type.get(constraints.type_name, ()))
+            events = [self._retained[key] for key in keys if key in self._retained]
+            self._index_hits_counter.inc(len(events), range=self.range_name or "-")
+        else:
+            events = list(self._retained.values())
+            self._index_residual_counter.inc(len(events),
+                                             range=self.range_name or "-")
+        for event in events:
+            if subscription.active and subscription.filter.matches(event):
+                self._deliver(subscription, event)
+
     def remove_subscription(self, sub_id: int) -> bool:
-        return self._subscriptions.pop(sub_id, None) is not None
+        subscription = self._subscriptions.get(sub_id)
+        if subscription is None:
+            return False
+        self._drop_subscription(subscription)
+        return True
 
     def remove_subscriptions_of(self, owner: object) -> int:
         """Tear down every subscription established for ``owner``."""
-        doomed = [sid for sid, sub in self._subscriptions.items() if sub.owner == owner]
-        for sub_id in doomed:
-            del self._subscriptions[sub_id]
+        bucket = self._subs_by_owner.get(owner)
+        if bucket is None:
+            return 0
+        doomed = [self._subscriptions[sub_id] for sub_id in list(bucket)]
+        for subscription in doomed:
+            self._drop_subscription(subscription)
         return len(doomed)
 
     def remove_subscriber(self, subscriber: GUID) -> int:
         """Drop all subscriptions delivering to ``subscriber`` (it departed)."""
-        doomed = [sid for sid, sub in self._subscriptions.items() if sub.subscriber == subscriber]
-        for sub_id in doomed:
-            del self._subscriptions[sub_id]
+        bucket = self._subs_by_subscriber.get(subscriber)
+        if bucket is None:
+            return 0
+        doomed = [self._subscriptions[sub_id] for sub_id in list(bucket)]
+        for subscription in doomed:
+            self._drop_subscription(subscription)
         return len(doomed)
+
+    def _drop_subscription(self, subscription: Subscription) -> None:
+        """Remove one subscription from the store, index and reverse maps."""
+        self._subscriptions.pop(subscription.sub_id, None)
+        self._sub_index.remove(subscription.sub_id)
+        if subscription.owner is not None:
+            self._reverse_remove(self._subs_by_owner, subscription.owner,
+                                 subscription.sub_id)
+        self._reverse_remove(self._subs_by_subscriber, subscription.subscriber,
+                             subscription.sub_id)
+
+    @staticmethod
+    def _reverse_add(store: Dict[object, Dict[int, None]], key: object,
+                     sub_id: int) -> None:
+        try:
+            store.setdefault(key, {})[sub_id] = None
+        except TypeError:
+            # unhashable owner: legal but unmappable; remove_subscriptions_of
+            # then simply finds no bucket (such owners cannot be looked up
+            # by equal-but-distinct keys anyway)
+            pass
+
+    @staticmethod
+    def _reverse_remove(store: Dict[object, Dict[int, None]], key: object,
+                        sub_id: int) -> None:
+        try:
+            bucket = store.get(key)
+        except TypeError:
+            return
+        if bucket is None:
+            return
+        bucket.pop(sub_id, None)
+        if not bucket:
+            del store[key]
 
     def add_bridge(self, peer: GUID, event_filter: EventFilter) -> Bridge:
         bridge = Bridge(self._next_bridge_id, peer, event_filter)
         self._next_bridge_id += 1
         self._bridges[bridge.bridge_id] = bridge
+        self._bridge_index.add(bridge.bridge_id, event_filter)
         return bridge
 
     def remove_bridge(self, bridge_id: int) -> bool:
+        self._bridge_index.remove(bridge_id)
         return self._bridges.pop(bridge_id, None) is not None
 
     def publish(self, event: ContextEvent, bridged: bool = False) -> int:
         """Distribute ``event``; returns the number of local deliveries."""
         self.published += 1
         self.by_type[event.type_name] += 1
-        self.network.obs.metrics.counter(
-            "mediator.published", "events published per range",
-            labels=("range",)).inc(range=self.range_name or "-")
+        self._published_counter.inc(range=self.range_name or "-")
         # span only when this publication is part of a traced operation
         # (query replay, bridged delivery...); background sensor chatter
         # stays span-free so it cannot flood the trace store
@@ -140,7 +256,38 @@ class EventMediator(Process):
         return delivered
 
     def _fan_out(self, event: ContextEvent, bridged: bool) -> int:
-        self._retained[(event.type_name, event.representation, event.subject)] = event
+        self._store_retained(event)
+        if not self.indexed:
+            return self._fan_out_naive(event, bridged)
+        label = self.range_name or "-"
+        sub_ids, hits, residual = self._sub_index.candidates(event)
+        delivered = 0
+        for sub_id in sub_ids:
+            subscription = self._subscriptions.get(sub_id)
+            if subscription is None or not subscription.active:
+                continue
+            if subscription.filter.matches(event):
+                self._deliver(subscription, event)
+                delivered += 1
+                if not subscription.active:
+                    self._drop_subscription(subscription)
+        if not bridged:
+            bridge_ids, bridge_hits, bridge_residual = \
+                self._bridge_index.candidates(event)
+            hits += bridge_hits
+            residual += bridge_residual
+            for bridge_id in bridge_ids:
+                bridge = self._bridges.get(bridge_id)
+                if bridge is not None and bridge.filter.matches(event):
+                    self._forward(bridge, event)
+        if hits:
+            self._index_hits_counter.inc(hits, range=label)
+        if residual:
+            self._index_residual_counter.inc(residual, range=label)
+        return delivered
+
+    def _fan_out_naive(self, event: ContextEvent, bridged: bool) -> int:
+        """The pre-index linear scan; the benchmark/property baseline."""
         delivered = 0
         for subscription in list(self._subscriptions.values()):
             if not subscription.active:
@@ -149,21 +296,37 @@ class EventMediator(Process):
                 self._deliver(subscription, event)
                 delivered += 1
                 if not subscription.active:
-                    self._subscriptions.pop(subscription.sub_id, None)
+                    self._drop_subscription(subscription)
         if not bridged:
-            for bridge in self._bridges.values():
+            for bridge in list(self._bridges.values()):
                 if bridge.filter.matches(event):
-                    bridge.forwarded += 1
-                    self.send(bridge.peer, "publish",
-                              {"event": event.to_wire(), "bridged": True})
+                    self._forward(bridge, event)
         return delivered
+
+    def _forward(self, bridge: Bridge, event: ContextEvent) -> None:
+        bridge.forwarded += 1
+        self.send(bridge.peer, "publish",
+                  {"event": event.to_wire(), "bridged": True})
+
+    def _store_retained(self, event: ContextEvent) -> None:
+        key = (event.type_name, event.representation, event.subject)
+        if key not in self._retained and len(self._retained) >= self.retained_cap:
+            oldest_key = next(iter(self._retained))
+            del self._retained[oldest_key]
+            by_type = self._retained_by_type.get(oldest_key[0])
+            if by_type is not None:
+                by_type.pop(oldest_key, None)
+                if not by_type:
+                    del self._retained_by_type[oldest_key[0]]
+            self.retained_evictions += 1
+            self._retained_evicted_counter.inc(range=self.range_name or "-")
+        self._retained[key] = event
+        self._retained_by_type.setdefault(event.type_name, {})[key] = None
 
     def _deliver(self, subscription: Subscription, event: ContextEvent) -> None:
         subscription.record_delivery()
         self.deliveries += 1
-        self.network.obs.metrics.counter(
-            "mediator.deliveries", "matched events forwarded to subscribers",
-            labels=("range",)).inc(range=self.range_name or "-")
+        self._deliveries_counter.inc(range=self.range_name or "-")
         with self.network.obs.tracer.span_if_active(
                 "mediator.deliver", range=self.range_name,
                 type=event.type_name, sub_id=subscription.sub_id):
@@ -218,8 +381,24 @@ class EventMediator(Process):
     def subscription_count(self) -> int:
         return len(self._subscriptions)
 
+    @property
+    def retained_count(self) -> int:
+        return len(self._retained)
+
+    def index_stats(self) -> Dict[str, int]:
+        """Sizes the smoke gate and benchmarks assert on."""
+        return {
+            "indexed_subscriptions": self._sub_index.indexed_size,
+            "residual_subscriptions": self._sub_index.residual_size,
+            "indexed_bridges": self._bridge_index.indexed_size,
+            "residual_bridges": self._bridge_index.residual_size,
+            "retained": len(self._retained),
+            "retained_evictions": self.retained_evictions,
+        }
+
     def subscriptions_for(self, subscriber: GUID) -> List[Subscription]:
-        return [sub for sub in self._subscriptions.values() if sub.subscriber == subscriber]
+        bucket = self._subs_by_subscriber.get(subscriber, {})
+        return [self._subscriptions[sub_id] for sub_id in bucket]
 
     def retained_event(self, type_name: str, representation: str, subject: object) -> Optional[ContextEvent]:
         return self._retained.get((type_name, representation, subject))

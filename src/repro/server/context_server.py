@@ -117,6 +117,12 @@ class ContextServer(Process):
             live_profiles=self._resolver_profiles,
             templates=self.templates,
             bindings_of=lambda entity_hex: self.configurations.bindings_of(entity_hex),
+            # invalidate the provider index only when membership or the
+            # template set changes (registration, departure, lease expiry)
+            feed_version=lambda: (self.registrar.version,
+                                  self.templates.version),
+            metrics=network.obs.metrics,
+            range_name=definition.name,
         )
         self.configurations = ConfigurationManager(
             network=network,

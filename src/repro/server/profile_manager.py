@@ -34,6 +34,9 @@ class ProfileManager(Process):
         self._profiles: Dict[str, Profile] = {}
         self._advertisements: Dict[str, List[Advertisement]] = {}
         self.updates = 0
+        #: bumped on membership changes; an index-invalidation feed for
+        #: consumers keying off this store (mirrors ``Registrar.version``)
+        self.version = 0
 
     # -- direct API ------------------------------------------------------------
 
@@ -42,10 +45,14 @@ class ProfileManager(Process):
         self._profiles[profile.entity_id.hex] = profile
         self._advertisements[profile.entity_id.hex] = list(advertisements or [])
         self.updates += 1
+        self.version += 1
 
     def remove(self, entity_hex: str) -> bool:
         self._advertisements.pop(entity_hex, None)
-        return self._profiles.pop(entity_hex, None) is not None
+        removed = self._profiles.pop(entity_hex, None) is not None
+        if removed:
+            self.version += 1
+        return removed
 
     def get(self, entity_hex: str) -> Optional[Profile]:
         return self._profiles.get(entity_hex)

@@ -13,9 +13,11 @@ triggers configuration repair.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import logging
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.ids import GUID
 from repro.entities.advertisement import Advertisement
@@ -58,12 +60,26 @@ class Registrar(Process):
         self.event_mediator = event_mediator
         self.lease_duration = lease_duration
         self._records: Dict[str, RegistrationRecord] = {}
+        #: lazy-deletion expiry heap (deadline, seq, entity_hex) — the same
+        #: trick the Scheduler uses for cancelled timers. Invariant: every
+        #: leased record has a heap entry whose deadline equals its current
+        #: ``lease_expiry``; renewals push a new entry and the superseded one
+        #: is discarded when popped (its deadline no longer matches).
+        self._expiry_heap: List[Tuple[float, int, str]] = []
+        self._heap_seq = itertools.count()
+        #: bumped on every membership change; feeds resolver index invalidation
+        self.version = 0
         #: hooks the Context Server installs
         self.on_arrival: Callable[[RegistrationRecord], None] = lambda record: None
         self.on_departure: Callable[[RegistrationRecord, str], None] = (
             lambda record, reason: None)
         self.registrations = 0
         self.evictions = 0
+        self.expiry_pops = 0
+        self._expiry_pops_counter = network.obs.metrics.counter(
+            "registrar.expiry.pops",
+            "expiry-heap entries popped during lease sweeps",
+            labels=("range",))
         self._sweeper = self.scheduler.schedule_periodic(sweep_interval,
                                                          self._sweep_leases)
 
@@ -86,6 +102,8 @@ class Registrar(Process):
         """Insert a record directly (infrastructure-spawned CEs, handoffs)."""
         self._records[record.entity_hex] = record
         self.registrations += 1
+        self.version += 1
+        self._track_lease(record)
         if notify:
             self.on_arrival(record)
         return record
@@ -94,10 +112,18 @@ class Registrar(Process):
         record = self._records.pop(entity_hex, None)
         if record is None:
             return False
+        # any heap entries for this record become stale and are skipped on pop
+        self.version += 1
         if notify_entity:
             self.send(record.profile.entity_id, "deregistered", {"reason": reason})
         self.on_departure(record, reason)
         return True
+
+    def _track_lease(self, record: RegistrationRecord) -> None:
+        if record.lease_expiry is not None:
+            heapq.heappush(self._expiry_heap,
+                           (record.lease_expiry, next(self._heap_seq),
+                            record.entity_hex))
 
     def shutdown(self) -> None:
         self._sweeper.cancel()
@@ -135,6 +161,8 @@ class Registrar(Process):
         fresh = record.entity_hex not in self._records
         self._records[record.entity_hex] = record
         self.registrations += 1
+        self.version += 1
+        self._track_lease(record)
         self.reply(message, "register-ack", {
             "ok": True,
             "range": self.range_name,
@@ -159,15 +187,34 @@ class Registrar(Process):
             return
         if record.lease_expiry is not None:
             record.lease_expiry = self.now + self.lease_duration
+            self._track_lease(record)
 
     # -- lease sweeping -----------------------------------------------------------------
 
     def _sweep_leases(self) -> None:
+        """Pop due heap entries instead of scanning every registration.
+
+        An entry is authoritative only if its deadline still equals the
+        record's current ``lease_expiry``; renewals and re-registrations
+        leave superseded entries behind, which cost one pop each (lazy
+        deletion) and are discarded here. A record with a future lease is
+        never evicted because only entries with ``deadline < now`` are
+        popped, and the freshest entry's deadline *is* the record's expiry.
+        """
         now = self.now
-        expired = [record for record in self._records.values()
-                   if record.lease_expiry is not None and record.lease_expiry < now]
-        for record in expired:
+        popped = 0
+        while self._expiry_heap and self._expiry_heap[0][0] < now:
+            deadline, _, entity_hex = heapq.heappop(self._expiry_heap)
+            popped += 1
+            record = self._records.get(entity_hex)
+            if record is None or record.lease_expiry is None:
+                continue  # departed or promoted to infrastructure; stale entry
+            if record.lease_expiry != deadline:
+                continue  # renewed since; the fresher entry covers it
             self.evictions += 1
             logger.info("%s evicting %s (lease expired)", self.name,
                         record.profile.name)
             self.remove(record.entity_hex, "lease-expired")
+        if popped:
+            self.expiry_pops += popped
+            self._expiry_pops_counter.inc(popped, range=self.range_name or "-")

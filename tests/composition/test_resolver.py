@@ -189,3 +189,72 @@ class TestBindings:
         _, _, resolver, _ = world
         with pytest.raises(NoProviderError):
             resolver.resolve(TypeSpec("path", "rooms", "malformed-subject"))
+
+
+class TestProfileIndex:
+    def test_indexed_and_naive_find_identical_plans(self, registry, guids,
+                                                    building, world):
+        profiles, templates, indexed_resolver, bindings = world
+        naive = QueryResolver(registry, live_profiles=lambda: list(profiles),
+                              templates=standard_templates(guids, building),
+                              bindings_of=bindings.get, indexed=False)
+        def shape(plan):
+            # drop the globally unique "plan-N" id; compare structure only
+            return plan.describe().split(":", 1)[1]
+
+        for wanted in (TypeSpec("temperature", "celsius"),
+                       TypeSpec("temperature", "any", "L10.02"),
+                       TypeSpec("location", "topological", "bob"),
+                       TypeSpec("path", "rooms", "bob->john")):
+            assert (shape(indexed_resolver.resolve(wanted))
+                    == shape(naive.resolve(wanted)))
+        # and unsatisfiable specs fail identically
+        for resolver in (indexed_resolver, naive):
+            with pytest.raises(NoProviderError):
+                resolver.resolve(TypeSpec("temperature", "fahrenheit", "L10.01"))
+
+    def test_without_feed_rebuilds_once_per_resolve(self, world):
+        _, _, resolver, _ = world
+        resolver.resolve(TypeSpec("temperature", "celsius"))
+        assert resolver.index_rebuilds == 1
+        resolver.resolve(TypeSpec("temperature", "celsius"))
+        assert resolver.index_rebuilds == 2
+
+    def test_stable_feed_version_reuses_index(self, registry, world):
+        profiles, templates, _, bindings = world
+        version = [0]
+        resolver = QueryResolver(registry,
+                                 live_profiles=lambda: list(profiles),
+                                 templates=templates,
+                                 bindings_of=bindings.get,
+                                 feed_version=lambda: version[0])
+        resolver.resolve(TypeSpec("temperature", "celsius"))
+        resolver.resolve(TypeSpec("temperature", "celsius"))
+        assert resolver.index_rebuilds == 1
+        assert resolver.index_hits >= 2
+
+    def test_feed_change_invalidates_index(self, registry, world):
+        profiles, templates, _, bindings = world
+        version = [0]
+        resolver = QueryResolver(registry,
+                                 live_profiles=lambda: list(profiles),
+                                 templates=templates,
+                                 bindings_of=bindings.get,
+                                 feed_version=lambda: version[0])
+        with pytest.raises(NoProviderError):
+            resolver.resolve(TypeSpec("occupancy", "count"))
+        profiles.append(sensor_profile("counter", "occupancy", "count"))
+        version[0] += 1  # what the registrar does on registration
+        plan = resolver.resolve(TypeSpec("occupancy", "count"))
+        assert plan.nodes[plan.output_key].profile.name == "counter"
+        assert resolver.index_rebuilds == 2
+
+    def test_subtype_offer_found_via_parent_bucket(self, registry, world):
+        profiles, _, resolver, _ = world
+        profiles.append(sensor_profile("gps", "gps-position", "geometric"))
+        plan = resolver.resolve(TypeSpec("gps-position", "geometric"))
+        assert plan.nodes[plan.output_key].profile.name == "gps"
+        # the same offer also satisfies the parent type, via the index
+        plan = resolver.resolve(TypeSpec("location", "geometric", "bob"))
+        assert any(node.profile.name in ("gps", "wlan")
+                   for node in plan.nodes.values())

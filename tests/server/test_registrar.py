@@ -117,3 +117,53 @@ class TestLeases:
         with pytest.raises(ValueError):
             Registrar(guids.mint(), "host-a", network, "r",
                       guids.mint(), guids.mint(), lease_duration=0)
+
+
+class TestExpiryHeap:
+    def test_renewals_leave_stale_entries_that_are_lazily_discarded(
+            self, network, guids, registrar):
+        component, profile, _ = register(network, guids, registrar)
+        for _ in range(5):
+            component.send(registrar.guid, "heartbeat",
+                           {"entity": profile.entity_id.hex})
+            network.scheduler.run_for(4)
+        # renewals pushed entries whose deadlines have passed; sweeps popped
+        # and discarded them without evicting the (still live) record
+        assert registrar.registered(profile.entity_id.hex)
+        assert registrar.expiry_pops > 0
+        assert registrar.evictions == 0
+
+    def test_heap_stays_bounded_under_churn(self, network, guids, registrar):
+        component, profile, _ = register(network, guids, registrar)
+        for _ in range(30):
+            component.send(registrar.guid, "heartbeat",
+                           {"entity": profile.entity_id.hex})
+            network.scheduler.run_for(4)
+        # lazy deletion must not let superseded entries pile up: at steady
+        # state only entries newer than the last sweep survive
+        assert len(registrar._expiry_heap) <= 5
+
+    def test_departed_record_entries_skipped(self, network, guids, registrar):
+        component, profile, _ = register(network, guids, registrar)
+        component.send(registrar.guid, "deregister",
+                       {"entity": profile.entity_id.hex})
+        network.scheduler.run_for(30)  # entries for the departed record pop
+        assert registrar.evictions == 0
+        assert registrar.expiry_pops >= 1
+
+    def test_pop_counter_exported(self, network, guids, registrar):
+        register(network, guids, registrar)
+        network.scheduler.run_for(20)
+        popped = network.obs.metrics.counter(
+            "registrar.expiry.pops", labels=("range",)).value(range="test-range")
+        assert popped >= 1
+        assert registrar.evictions == 1
+
+    def test_version_bumps_on_membership_changes(self, network, guids, registrar):
+        before = registrar.version
+        component, profile, _ = register(network, guids, registrar)
+        assert registrar.version == before + 1
+        component.send(registrar.guid, "deregister",
+                       {"entity": profile.entity_id.hex})
+        network.scheduler.run_for(5)
+        assert registrar.version == before + 2
