@@ -1,0 +1,233 @@
+"""PERF — Overlay fast paths vs the pre-index membership/dissemination.
+
+Three overlay hot paths, each measured before/after:
+
+* **Membership build** — joining N nodes. The naive path re-sorts the full
+  membership for every node on every join (O(N^2 log N) per join); the
+  incremental path repairs only the newcomer's <= 2*LEAF_HALF ring
+  neighbours from a bisect-maintained sorted ring.
+* **Announce dissemination** — one full-overlay ``announce-range``. The
+  flood forwards to every known node with dedup (most arrivals are
+  duplicates); the distribution tree delegates disjoint ring arcs and
+  delivers in exactly N-1 messages.
+* **Route-step throughput** — routing random keys across the built
+  overlay, exercising the cached known-node views and precomputed leaf
+  spans on every hop.
+
+Scales run 50 -> 5000 (the naive build stops at 200 — beyond that it takes
+minutes, which is the point). Results land in
+``results/bench_perf_overlay.txt`` (human-readable) and
+``results/BENCH_overlay.json`` (machine baseline alongside
+``BENCH_dispatch.json``). Acceptance gates: >= 10x announce message
+reduction at N=1000 and near-linear incremental build cost.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_perf_overlay.py -q -s``
+"""
+
+import json
+import pathlib
+import random
+import time
+
+from repro.core.ids import GUID
+from repro.net.transport import FixedLatency, Network
+from repro.overlay.scinet import SCINet
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINE_PATH = RESULTS_DIR / "BENCH_overlay.json"
+
+#: the naive build's O(N^2 log N)-per-join cost makes larger scales take
+#: minutes; the incremental path runs the full ladder
+BUILD_SCALES_NAIVE = (50, 100, 200)
+BUILD_SCALES_FAST = (50, 100, 200, 1000, 5000)
+ANNOUNCE_SCALES = (100, 1000)
+ROUTE_SCALES = (100, 1000)
+ROUTES = 400
+#: required flood->tree message reduction at the top announce scale
+REQUIRED_BCAST_REDUCTION = 10.0
+#: incremental per-node build cost may grow at most this much over the
+#: 100x scale ladder (near-linear; the naive path triples per doubling)
+MAX_FAST_PER_NODE_GROWTH = 6.0
+
+
+def build_overlay(n, incremental, seed=3):
+    net = Network(latency_model=FixedLatency(1.0), seed=seed)
+    sci = SCINet(net, incremental=incremental)
+    for i in range(n):
+        sci.create_node(f"h{i % 64}", range_name=f"r{i}")
+    return net, sci
+
+
+def measure_build(n, incremental):
+    net = Network(latency_model=FixedLatency(1.0), seed=3)
+    sci = SCINet(net, incremental=incremental)
+    start = time.perf_counter()
+    for i in range(n):
+        sci.create_node(f"h{i % 64}", range_name=f"r{i}")
+    elapsed = time.perf_counter() - start
+    return {"seconds": elapsed, "per_node_us": elapsed / n * 1e6}
+
+
+def measure_announce(n, flood):
+    net, sci = build_overlay(n, incremental=True)
+    net.run_until_idle()
+    nodes = sci.nodes()
+    before = net.stats.by_kind.get("o-bcast", 0)
+    nodes[0].broadcast("announce-range",
+                       {"range": "x", "cs": "cs-x", "places": ["room-1"]},
+                       flood=flood)
+    net.run_until_idle()
+    reached = sum(1 for node in nodes if node.lookup_place("room-1") == "cs-x")
+    return {
+        "messages": net.stats.by_kind.get("o-bcast", 0) - before,
+        "reached": reached,
+        "dup_suppressed": int(net.obs.metrics.counter(
+            "overlay.bcast.dup_suppressed").total()),
+    }
+
+
+def measure_route(n, routes=ROUTES):
+    net, sci = build_overlay(n, incremental=True)
+    net.run_until_idle()
+    nodes = sci.nodes()
+    rng = random.Random(7)
+    keys = [GUID(rng.getrandbits(128)) for _ in range(routes)]
+    origins = [nodes[rng.randrange(n)] for _ in range(routes)]
+    start = time.perf_counter()
+    for key, origin in zip(keys, origins):
+        origin.route(key, "probe", {})
+    net.run_until_idle()
+    elapsed = time.perf_counter() - start
+    steps = sci.total_routed()
+    hops = net.obs.metrics.histogram("overlay.route.hops").series().summary()
+    return {
+        "routes": routes,
+        "steps": steps,
+        "steps_per_s": steps / elapsed if elapsed else float("inf"),
+        "mean_hops": hops["mean"],
+        "max_hops": hops["max"],
+    }
+
+
+# -- the report ----------------------------------------------------------------
+
+class TestReportOverlayPerf:
+    def test_report_build(self, report):
+        baseline = _load_baseline()
+        report("")
+        report("PERF  overlay build: incremental ring membership vs "
+               "full leaf-set refresh per join")
+        report(f"{'nodes':>6} | {'naive/node':>11} {'fast/node':>10} "
+               f"{'speedup':>8}")
+        fast_per_node = {}
+        for scale in BUILD_SCALES_FAST:
+            fast = measure_build(scale, incremental=True)
+            fast_per_node[scale] = fast["per_node_us"]
+            if scale in BUILD_SCALES_NAIVE:
+                naive = measure_build(scale, incremental=False)
+                speedup = naive["per_node_us"] / fast["per_node_us"]
+                report(f"{scale:>6} | {naive['per_node_us']:>9.0f}us "
+                       f"{fast['per_node_us']:>8.0f}us {speedup:>7.1f}x")
+                naive_row = round(naive["per_node_us"], 1)
+            else:
+                report(f"{scale:>6} | {'-':>11} "
+                       f"{fast['per_node_us']:>8.0f}us {'-':>8}")
+                naive_row = None
+            baseline["build"].append({
+                "nodes": scale,
+                "naive_per_node_us": naive_row,
+                "fast_per_node_us": round(fast["per_node_us"], 1),
+            })
+        top_naive = max(BUILD_SCALES_NAIVE)
+        naive_top = [row for row in baseline["build"]
+                     if row["nodes"] == top_naive][0]
+        assert naive_top["naive_per_node_us"] > \
+            5.0 * naive_top["fast_per_node_us"], (
+                "incremental membership should beat the naive refresh by "
+                f">=5x at {top_naive} nodes")
+        growth = (fast_per_node[max(BUILD_SCALES_FAST)]
+                  / fast_per_node[min(BUILD_SCALES_FAST)])
+        report(f"  fast per-node growth {min(BUILD_SCALES_FAST)}->"
+               f"{max(BUILD_SCALES_FAST)} nodes: {growth:.2f}x "
+               f"(near-linear; <= {MAX_FAST_PER_NODE_GROWTH:.0f}x)")
+        assert growth <= MAX_FAST_PER_NODE_GROWTH, (
+            f"incremental build cost grew {growth:.1f}x per node over a "
+            f"{max(BUILD_SCALES_FAST) // min(BUILD_SCALES_FAST)}x scale "
+            "ladder — no longer near-linear")
+        _save_baseline(baseline)
+
+    def test_report_announce(self, report):
+        baseline = _load_baseline()
+        report("")
+        report("PERF  announce dissemination: distribution tree vs dedup flood")
+        report(f"{'nodes':>6} | {'flood msgs':>11} {'tree msgs':>10} "
+               f"{'reduction':>10} | {'dups suppressed':>15}")
+        for scale in ANNOUNCE_SCALES:
+            flood = measure_announce(scale, flood=True)
+            tree = measure_announce(scale, flood=False)
+            assert flood["reached"] == tree["reached"] == scale
+            assert tree["messages"] == scale - 1  # exactly-once delivery
+            assert tree["dup_suppressed"] == 0
+            reduction = flood["messages"] / tree["messages"]
+            report(f"{scale:>6} | {flood['messages']:>11} "
+                   f"{tree['messages']:>10} {reduction:>9.1f}x | "
+                   f"{flood['dup_suppressed']:>15}")
+            baseline["announce"].append({
+                "nodes": scale,
+                "flood_messages": flood["messages"],
+                "tree_messages": tree["messages"],
+                "reduction": round(reduction, 2),
+                "flood_dup_suppressed": flood["dup_suppressed"],
+            })
+            if scale == max(ANNOUNCE_SCALES):
+                assert reduction >= REQUIRED_BCAST_REDUCTION, (
+                    f"tree broadcast only cut announce traffic "
+                    f"{reduction:.1f}x at {scale} nodes "
+                    f"(need >= {REQUIRED_BCAST_REDUCTION}x)")
+        _save_baseline(baseline)
+
+    def test_report_route_throughput(self, report):
+        baseline = _load_baseline()
+        report("")
+        report("PERF  route-step throughput over the incremental overlay")
+        report(f"{'nodes':>6} | {'steps/s':>10} {'mean hops':>10} "
+               f"{'max hops':>9}")
+        for scale in ROUTE_SCALES:
+            run = measure_route(scale)
+            report(f"{scale:>6} | {run['steps_per_s']:>10.0f} "
+                   f"{run['mean_hops']:>10.2f} {run['max_hops']:>9.0f}")
+            baseline["route"].append({
+                "nodes": scale,
+                "routes": run["routes"],
+                "steps_per_s": round(run["steps_per_s"], 1),
+                "mean_hops": round(run["mean_hops"], 3),
+                "max_hops": run["max_hops"],
+            })
+            # hops must stay logarithmic on the sparser incremental tables
+            assert run["mean_hops"] <= 5.0
+            assert run["max_hops"] <= 10
+        _save_baseline(baseline)
+
+
+def _load_baseline():
+    if BASELINE_PATH.exists():
+        with open(BASELINE_PATH, encoding="utf-8") as handle:
+            document = json.load(handle)
+        # re-runs replace their own section, keeping the others' last values
+        return {"schema": "sci.bench.overlay/1",
+                "build": [], "announce": [], "route": [],
+                "previous": {k: document.get(k)
+                             for k in ("build", "announce", "route")}}
+    return {"schema": "sci.bench.overlay/1",
+            "build": [], "announce": [], "route": []}
+
+
+def _save_baseline(document):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    merged = {"schema": document["schema"]}
+    previous = document.pop("previous", {})
+    for section in ("build", "announce", "route"):
+        merged[section] = document[section] or previous.get(section) or []
+    with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -12,7 +12,11 @@ structural properties a refactor could silently regress:
 * the resolver's profile index is built once under a stable feed version and
   serves every candidate lookup (``resolver.index.*`` via its counters);
 * the registrar sweeps leases through the expiry heap (pops observed, no
-  full-scan fallback to reintroduce).
+  full-scan fallback to reintroduce);
+* the overlay disseminates announcements over the distribution tree
+  (exactly N-1 ``o-bcast`` messages per full announce, zero duplicates),
+  the flood ablation still suppresses the duplicate storm it creates, and
+  the routing tables' memoised known-node views serve reads from cache.
 
 Exits non-zero on any failure, so CI can gate on it. Usage::
 
@@ -44,6 +48,12 @@ MAX_SCAN_FRACTION = 0.25
 #: share of subscriptions allowed to fall to the residual list when the
 #: workload's filters are 99% exact-match conjunctions
 MAX_RESIDUAL_SUBSCRIPTIONS = 0.05
+OVERLAY_NODES = 64
+#: the dedup flood must cost at least this many times the tree's N-1
+#: messages at smoke scale (it sends per known node, duplicates and all)
+MIN_FLOOD_BLOWUP = 10
+#: routing-table memo reads served per rebuild, summed over all nodes
+MIN_CACHE_HIT_RATIO = 2
 
 
 def check(condition, label):
@@ -111,6 +121,55 @@ def main() -> int:
     ok &= check(pops >= 20, f"expiry heap popped ({pops:.0f} pops)")
     ok &= check(registrar.evictions == 20,
                 f"all unrenewed leases evicted ({registrar.evictions})")
+
+    print(f"smoke-perf: overlay dissemination at {OVERLAY_NODES} nodes...")
+    from repro.overlay.scinet import SCINet  # noqa: E402
+    onet = Network(latency_model=FixedLatency(0.5), seed=11)
+    sci = SCINet(onet)
+    for i in range(OVERLAY_NODES):
+        sci.create_node(f"oh{i % 8}", range_name=f"r{i}",
+                        owner_cs_hex=f"cs-{i}", places=[f"room-{i}"])
+    onet.run_until_idle()
+    sent = onet.obs.metrics.counter("overlay.bcast.sent", labels=("mode",))
+    dups = onet.obs.metrics.counter("overlay.bcast.dup_suppressed")
+    ok &= check(sent.value(mode="tree") > 0 and sent.value(mode="flood") == 0,
+                f"join announces used the distribution tree "
+                f"({sent.value(mode='tree'):.0f} msgs)")
+    ok &= check(dups.total() == 0,
+                "tree dissemination produced zero duplicates")
+    # on the quiesced overlay one full announce costs exactly N-1 messages
+    tree_before = sent.value(mode="tree")
+    sci.nodes()[3].broadcast("announce-range",
+                             {"range": "r3", "cs": "cs-3",
+                              "places": ["room-3"]})
+    onet.run_until_idle()
+    tree_delta = sent.value(mode="tree") - tree_before
+    ok &= check(tree_delta == OVERLAY_NODES - 1 and dups.total() == 0,
+                f"quiesced announce cost exactly N-1 tree messages "
+                f"({tree_delta:.0f} == {OVERLAY_NODES - 1})")
+    directories = [dict(node.directory) for node in sci.nodes()]
+    ok &= check(all(d == directories[0] and len(d) == OVERLAY_NODES
+                    for d in directories),
+                f"directory fully replicated on all {OVERLAY_NODES} nodes")
+
+    sci.nodes()[0].broadcast("announce-range",
+                             {"range": "r0", "cs": "cs-0",
+                              "places": ["room-0"]}, flood=True)
+    onet.run_until_idle()
+    flood_sent = sent.value(mode="flood")
+    tree_per_announce = OVERLAY_NODES - 1
+    ok &= check(flood_sent >= MIN_FLOOD_BLOWUP * tree_per_announce,
+                f"flood ablation costs >= {MIN_FLOOD_BLOWUP}x the tree "
+                f"({flood_sent:.0f} vs {tree_per_announce} msgs)")
+    ok &= check(dups.total() == flood_sent - tree_per_announce,
+                f"dedup suppressed every duplicate flood arrival "
+                f"({dups.total():.0f})")  # N-1 first arrivals, rest dups
+
+    hits = sum(node.table.cache_hits for node in sci.nodes())
+    builds = sum(node.table.cache_builds for node in sci.nodes())
+    ok &= check(builds > 0 and hits >= MIN_CACHE_HIT_RATIO * builds,
+                f"known-node views served from the memo "
+                f"({hits} hits vs {builds} builds)")
 
     if not ok:
         print("smoke-perf: FAIL")

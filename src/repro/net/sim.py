@@ -28,24 +28,33 @@ class Timer:
     """Handle for a scheduled callback; supports cancellation.
 
     Cancellation is lazy: the heap entry stays put and is skipped when
-    popped, which is O(1) and keeps the heap simple.
+    popped, which is O(1) and keeps the heap simple. ``_scheduler`` is set
+    only while the timer is live in a heap; it lets :meth:`cancel` keep the
+    scheduler's pending-event counter exact without scanning the heap.
 
     ``site`` and ``created_at`` feed the optional scheduler profiler: which
     code scheduled this event, and how long it dwelt in the heap.
     """
 
-    __slots__ = ("when", "fn", "cancelled", "site", "created_at")
+    __slots__ = ("when", "fn", "cancelled", "site", "created_at", "_scheduler")
 
     def __init__(self, when: float, fn: Callable[[], None],
-                 site: str = "", created_at: float = 0.0):
+                 site: str = "", created_at: float = 0.0,
+                 scheduler: "Optional[Scheduler]" = None):
         self.when = when
         self.fn = fn
         self.cancelled = False
         self.site = site
         self.created_at = created_at
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._scheduler is not None:
+            self._scheduler._live -= 1
+            self._scheduler = None
 
 
 class Scheduler:
@@ -66,6 +75,9 @@ class Scheduler:
         self._heap: List[Tuple[float, int, Timer]] = []
         self._sequence = itertools.count()
         self._events_processed = 0
+        #: live (non-cancelled) heap entries, maintained on push/pop/cancel
+        #: so :attr:`pending` is O(1) instead of an O(N) heap scan
+        self._live = 0
         #: optional :class:`repro.obs.profiling.SchedulerProfiler` (duck-typed
         #: ``record(site, lag, wall)``); None keeps the hot loop hook-free
         self.profiler = None
@@ -87,8 +99,10 @@ class Scheduler:
         else:
             bound = fn
         # attribute the event to the *original* callable, not the closure
-        timer = Timer(when, bound, site=callsite(fn), created_at=self.now)
+        timer = Timer(when, bound, site=callsite(fn), created_at=self.now,
+                      scheduler=self)
         heapq.heappush(self._heap, (when, next(self._sequence), timer))
+        self._live += 1
         return timer
 
     def call_soon(self, fn: Callable, *args, **kwargs) -> Timer:
@@ -135,6 +149,10 @@ class Scheduler:
             heapq.heappop(self._heap)
             if timer.cancelled:
                 continue
+            # the timer fires now: it is no longer pending, and a late
+            # cancel() on its handle must not decrement the live counter
+            self._live -= 1
+            timer._scheduler = None
             self.now = when
             if self.profiler is not None:
                 started = perf_counter()
@@ -165,8 +183,8 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for _, _, timer in self._heap if not timer.cancelled)
+        """Number of live (non-cancelled) events still queued (O(1))."""
+        return self._live
 
     @property
     def events_processed(self) -> int:

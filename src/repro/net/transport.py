@@ -222,6 +222,10 @@ class Network:
         self.stats = MessageStats(registry=self.obs.metrics)
         self._hosts: Dict[str, Host] = {}
         self._processes: Dict[GUID, Process] = {}
+        #: host id -> processes living there (insertion-ordered), so the
+        #: per-host lookup in link-local broadcast is O(processes on host)
+        #: rather than a scan over every process in the deployment
+        self._processes_by_host: Dict[str, Dict[GUID, Process]] = {}
         self._partition_of: Dict[str, int] = {}
 
     # -- topology ------------------------------------------------------------
@@ -272,15 +276,20 @@ class Network:
             raise TransportError(f"duplicate process GUID: {process.guid}")
         self.host(process.host_id)  # must exist
         self._processes[process.guid] = process
+        self._processes_by_host.setdefault(process.host_id, {})[process.guid] = process
 
     def detach(self, guid: GUID) -> None:
-        self._processes.pop(guid, None)
+        process = self._processes.pop(guid, None)
+        if process is not None:
+            on_host = self._processes_by_host.get(process.host_id)
+            if on_host is not None:
+                on_host.pop(guid, None)
 
     def process(self, guid: GUID) -> Optional[Process]:
         return self._processes.get(guid)
 
     def processes_on(self, host_id: str) -> List[Process]:
-        return [p for p in self._processes.values() if p.host_id == host_id]
+        return list(self._processes_by_host.get(host_id, {}).values())
 
     # -- delivery ------------------------------------------------------------
 

@@ -10,10 +10,18 @@ verifies.
 Nodes also answer DHT verbs (the range directory's storage), apply
 broadcast announcements (directory replication) and count per-node routed
 load for the hotspot analysis.
+
+Dissemination has two modes. The default is a deterministic distribution
+tree: each forwarder owns a clockwise ring arc and delegates disjoint
+sub-arcs to the known nodes inside it, so a full-overlay announce costs
+exactly N-1 messages (see DESIGN.md, "Overlay fast paths"). The original
+dedup-flood survives behind ``broadcast(..., flood=True)`` as the ablation
+and equivalence baseline.
 """
 
 from __future__ import annotations
 
+import bisect
 import logging
 from typing import Any, Callable, Dict, List, Optional, Set
 
@@ -44,6 +52,13 @@ class RoutingTable:
     to the numerically closest member. Leaf sets are maintained exactly by
     the management plane (:meth:`repro.overlay.scinet.SCINet.join`), which
     is what a converged Pastry maintenance protocol produces.
+
+    The derived views — :meth:`known_nodes`, :meth:`nodes_clockwise`, the
+    membership set behind ``in``/``size`` and the leaf-span extents — are
+    memoised and invalidated on mutation, so the per-hop fallback scan,
+    broadcast fan-out and span checks never rebuild a sorted set per call.
+    ``cache_hits``/``cache_builds`` expose the memo's effectiveness to the
+    perf smoke gate.
     """
 
     def __init__(self, owner: GUID):
@@ -52,6 +67,17 @@ class RoutingTable:
         self._rows: Dict[int, Dict[int, GUID]] = {}
         self._right: List[GUID] = []   # successors, nearest first
         self._left: List[GUID] = []    # predecessors, nearest first
+        # precomputed leaf-span extents: clockwise offset to the furthest
+        # right leaf / counterclockwise offset to the furthest left leaf
+        self._right_span = 0
+        self._left_span = 0
+        # memoised views (None = stale, rebuilt on next read)
+        self._known_sorted: Optional[List[GUID]] = None
+        self._known_set: Optional[Set[GUID]] = None
+        self._clockwise: Optional[List[GUID]] = None
+        #: cache effectiveness counters (read by scripts/smoke_perf.py)
+        self.cache_hits = 0
+        self.cache_builds = 0
 
     # -- maintenance ----------------------------------------------------------
 
@@ -65,19 +91,29 @@ class RoutingTable:
         incumbent = slot.get(digit)
         if incumbent is None or node.distance(self.owner) < incumbent.distance(self.owner):
             slot[digit] = node
+            self._invalidate()
 
     def remove(self, node: GUID) -> None:
         if node == self.owner:
             return
+        changed = False
         row = self.owner.shared_prefix_len(node)
         slot = self._rows.get(row, {})
         digit = node.digit(row)
         if slot.get(digit) == node:
             del slot[digit]
+            changed = True
+        leaves_changed = False
         if node in self._right:
             self._right.remove(node)
+            leaves_changed = True
         if node in self._left:
             self._left.remove(node)
+            leaves_changed = True
+        if leaves_changed:
+            self._leaves_changed()
+        elif changed:
+            self._invalidate()
 
     def set_leaves(self, members: List[GUID]) -> None:
         """Recompute exact leaf sets from the full membership."""
@@ -85,6 +121,40 @@ class RoutingTable:
         by_clockwise = sorted(others, key=lambda node: _ring_offset(self.owner, node))
         self._right = by_clockwise[:LEAF_HALF]
         self._left = list(reversed(by_clockwise))[:LEAF_HALF]
+        self._leaves_changed()
+
+    def set_leaf_lists(self, right: List[GUID], left: List[GUID]) -> None:
+        """Install exact leaf lists (nearest first) computed by the
+        management plane's sorted ring — the incremental counterpart of
+        :meth:`set_leaves`."""
+        self._right = list(right)
+        self._left = list(left)
+        self._leaves_changed()
+
+    def _leaves_changed(self) -> None:
+        self._right_span = (_ring_offset(self.owner, self._right[-1])
+                            if self._right else 0)
+        self._left_span = (_ring_offset(self._left[-1], self.owner)
+                           if self._left else 0)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._known_sorted = None
+        self._known_set = None
+        self._clockwise = None
+
+    def _rebuild(self) -> None:
+        nodes: Set[GUID] = set(self._right)
+        nodes.update(self._left)
+        for slot in self._rows.values():
+            nodes.update(slot.values())
+        self._known_set = nodes
+        self._known_sorted = sorted(nodes)
+        # the owner is never in the table, so bisect yields the rotation
+        # point that turns value order into clockwise ring order
+        pivot = bisect.bisect_right(self._known_sorted, self.owner)
+        self._clockwise = self._known_sorted[pivot:] + self._known_sorted[:pivot]
+        self.cache_builds += 1
 
     # -- lookup ----------------------------------------------------------------
 
@@ -117,32 +187,59 @@ class RoutingTable:
 
     def _leaf_span_lookup(self, key: GUID):
         """(covered?, closest member) for keys inside the leaf span."""
-        right_max = _ring_offset(self.owner, self._right[-1]) if self._right else 0
-        left_max = _ring_offset(self._left[-1], self.owner) if self._left else 0
         key_clockwise = _ring_offset(self.owner, key)
-        covered = (key_clockwise <= right_max
-                   or (_RING - key_clockwise) <= left_max)
+        covered = (key_clockwise <= self._right_span
+                   or (_RING - key_clockwise) <= self._left_span)
         if not covered:
             return False, None
-        candidates = [self.owner] + self._right + self._left
-        closest = min(candidates,
-                      key=lambda node: (key.distance(node), node.value))
+        closest = self.owner
+        closest_rank = (key.distance(self.owner), self.owner.value)
+        for node in self._right:
+            rank = (key.distance(node), node.value)
+            if rank < closest_rank:
+                closest = node
+                closest_rank = rank
+        for node in self._left:
+            rank = (key.distance(node), node.value)
+            if rank < closest_rank:
+                closest = node
+                closest_rank = rank
         return True, closest
 
     def known_nodes(self) -> List[GUID]:
-        nodes: Set[GUID] = set(self._right) | set(self._left)
-        for slot in self._rows.values():
-            nodes.update(slot.values())
-        return sorted(nodes)
+        """Every node in the table, sorted by value (cached; treat as
+        read-only — mutating the returned list corrupts the memo)."""
+        if self._known_sorted is None:
+            self._rebuild()
+        else:
+            self.cache_hits += 1
+        return self._known_sorted
+
+    def nodes_clockwise(self) -> List[GUID]:
+        """Known nodes ordered by clockwise ring offset from the owner
+        (cached; treat as read-only)."""
+        if self._clockwise is None:
+            self._rebuild()
+        else:
+            self.cache_hits += 1
+        return self._clockwise
 
     def leaves(self) -> List[GUID]:
         return list(self._right) + list(self._left)
 
     def size(self) -> int:
-        return len(self.known_nodes())
+        if self._known_set is None:
+            self._rebuild()
+        else:
+            self.cache_hits += 1
+        return len(self._known_set)
 
     def __contains__(self, node: GUID) -> bool:
-        return node in self.known_nodes()
+        if self._known_set is None:
+            self._rebuild()
+        else:
+            self.cache_hits += 1
+        return node in self._known_set
 
 
 class OverlayNode(Process):
@@ -163,6 +260,29 @@ class OverlayNode(Process):
         self.delivered = 0
         #: callbacks on delivered application payloads: (kind, body, hops)
         self.on_delivery: List[Callable[[str, Dict[str, Any], int], None]] = []
+        #: default dissemination mode; the management plane sets this from
+        #: SCINet(flood=...) — True re-enables the dedup flood everywhere
+        self.flood_broadcasts = False
+        # hot-path metric handles, resolved once at attach time instead of
+        # by name + label on every routed/delivered message
+        metrics = network.obs.metrics
+        self._node_label = range_name or guid.hex[:8]
+        self._load_counter = metrics.counter(
+            "overlay.node.load", "route steps handled per overlay node",
+            labels=("node",))
+        self._delivered_counter = metrics.counter(
+            "overlay.delivered", "routed payloads that reached their key owner")
+        self._hops_histogram = metrics.histogram(
+            "overlay.route.hops", "overlay hops per delivered route")
+        self._lookup_counter = metrics.counter(
+            "overlay.directory.lookups", "replicated range-directory reads",
+            labels=("hit",))
+        self._bcast_sent = metrics.counter(
+            "overlay.bcast.sent", "broadcast messages forwarded, by mode",
+            labels=("mode",))
+        self._bcast_dup = metrics.counter(
+            "overlay.bcast.dup_suppressed",
+            "duplicate broadcast arrivals suppressed by the dedup set")
 
     # -- public API ----------------------------------------------------------------
 
@@ -182,12 +302,19 @@ class OverlayNode(Process):
                 "hops": 0,
             })
 
-    def broadcast(self, kind: str, body: Dict[str, Any]) -> None:
-        """Flood an announcement over the overlay mesh (with dedup)."""
+    def broadcast(self, kind: str, body: Dict[str, Any],
+                  flood: Optional[bool] = None) -> None:
+        """Announce over the overlay: distribution tree by default, or the
+        dedup flood when ``flood`` (or the node default) says so."""
+        if flood is None:
+            flood = self.flood_broadcasts
         bcast_id = f"{self.guid.hex[:12]}:{self.network.scheduler.now}:{kind}"
         payload = {"bcast_id": bcast_id, "kind": kind, "body": body, "hops": 0}
         self._apply_broadcast(payload)
-        self._forward_broadcast(payload)
+        if flood:
+            self._forward_broadcast(payload)
+        else:
+            self._forward_tree(payload, self.guid.hex)
 
     def dht_put(self, name: str, value: Any) -> None:
         self.route(GUID.from_name(name), "dht-put", {"name": name, "value": value})
@@ -203,18 +330,14 @@ class OverlayNode(Process):
             found = self.directory.get(place)
             if span is not None:
                 span.set(found=found is not None)
-        self.network.obs.metrics.counter(
-            "overlay.directory.lookups", "replicated range-directory reads",
-            labels=("hit",)).inc(hit=str(found is not None).lower())
+        self._lookup_counter.inc(hit=str(found is not None).lower())
         return found
 
     # -- routing machinery -------------------------------------------------------------
 
     def _route_step(self, payload: Dict[str, Any]) -> None:
         self.routed += 1
-        self.network.obs.metrics.counter(
-            "overlay.node.load", "route steps handled per overlay node",
-            labels=("node",)).inc(node=self.range_name or self.guid.hex[:8])
+        self._load_counter.inc(node=self._node_label)
         key = GUID.from_hex(payload["key"])
         next_hop = self.table.next_hop(key)
         if next_hop is None:
@@ -229,12 +352,8 @@ class OverlayNode(Process):
 
     def _deliver(self, payload: Dict[str, Any]) -> None:
         self.delivered += 1
-        metrics = self.network.obs.metrics
-        metrics.counter("overlay.delivered",
-                        "routed payloads that reached their key owner").inc()
-        metrics.histogram("overlay.route.hops",
-                          "overlay hops per delivered route").observe(
-                              payload["hops"])
+        self._delivered_counter.inc()
+        self._hops_histogram.observe(payload["hops"])
         kind = payload["kind"]
         body = payload["body"]
         hops = payload["hops"]
@@ -272,8 +391,44 @@ class OverlayNode(Process):
     def _forward_broadcast(self, payload: Dict[str, Any]) -> None:
         onward = dict(payload)
         onward["hops"] += 1
-        for node in self.table.known_nodes():
+        targets = self.table.known_nodes()
+        for node in targets:
             self.send(node, "o-bcast", onward)
+        if targets:
+            self._bcast_sent.inc(len(targets), mode="flood")
+
+    def _forward_tree(self, payload: Dict[str, Any], until_hex: str) -> None:
+        """Forward within this node's clockwise arc ``(self, until)``.
+
+        Delegation rule: the known nodes inside the arc, in clockwise
+        order, each receive the message once, and delegate ``d[i]`` becomes
+        responsible for the sub-arc ``(d[i], d[i+1])`` (the last one
+        inherits the original bound). Sub-arcs are disjoint and every
+        member falls in exactly one, so a full-overlay announce delivers
+        exactly once to every node — N-1 messages, no duplicates. Coverage
+        needs only the leaf-set invariant (each node knows its immediate
+        ring successor); see DESIGN.md, "Overlay fast paths".
+        """
+        until = GUID.from_hex(until_hex)
+        span = _ring_offset(self.guid, until)
+        if span == 0:
+            span = _RING  # originator: the whole ring is this node's arc
+        delegates: List[GUID] = []
+        for node in self.table.nodes_clockwise():
+            if _ring_offset(self.guid, node) >= span:
+                break  # clockwise order: everything further is outside
+            delegates.append(node)
+        if not delegates:
+            return
+        hops = payload["hops"] + 1
+        for index, node in enumerate(delegates):
+            bound = (delegates[index + 1].hex if index + 1 < len(delegates)
+                     else until_hex)
+            onward = dict(payload)
+            onward["hops"] = hops
+            onward["until"] = bound
+            self.send(node, "o-bcast", onward)
+        self._bcast_sent.inc(len(delegates), mode="tree")
 
     # -- messages ----------------------------------------------------------------------------
 
@@ -286,9 +441,14 @@ class OverlayNode(Process):
                 self._route_step(message.payload)
         elif message.kind == "o-bcast":
             if message.payload["bcast_id"] in self._seen_broadcasts:
+                self._bcast_dup.inc()
                 return
             self._apply_broadcast(message.payload)
-            self._forward_broadcast(message.payload)
+            until_hex = message.payload.get("until")
+            if until_hex is None:
+                self._forward_broadcast(message.payload)
+            else:
+                self._forward_tree(message.payload, until_hex)
         elif message.kind == "o-delivery":
             with self.network.obs.tracer.span_if_active(
                     "overlay.deliver", node=self.name,

@@ -6,28 +6,45 @@ together, such as those operating within an individual building or across a
 larger area in order to control access and increase performance."
 
 Membership is a management-plane concern here: :meth:`SCINet.join` seeds the
-new node's routing table from the current membership and notifies existing
-nodes of the newcomer (what a full Pastry join protocol converges to);
+new node's routing table and notifies the nodes that need to learn of the
+newcomer (what a full Pastry join protocol converges to);
 :meth:`SCINet.leave`/:meth:`SCINet.fail` remove a node from all tables. The
 data plane — routing, DHT, directory replication — is entirely
 message-based through :class:`~repro.overlay.node.OverlayNode`.
+
+Two membership strategies coexist (``incremental=...``):
+
+* **Incremental** (default): a sorted GUID ring is maintained with bisect;
+  a join seeds the newcomer from its two ring flankers' tables, announces
+  it to the nodes it learned of, and recomputes exact leaf lists — straight
+  from the ring, in O(LEAF_HALF) each — for only the <= 2*LEAF_HALF ring
+  neighbours whose leaf sets can change. Departures repair the same
+  bounded neighbourhood. Per-membership-change work is O(log N)-ish
+  instead of the naive path's O(N log N) *per node*.
+* **Naive** (``incremental=False``): the seed behaviour — full-mesh table
+  seeding plus :meth:`_refresh_leaf_sets`, which re-sorts the entire
+  membership for every node on every change. Kept as the ablation and the
+  ground truth the incremental tests cross-check against.
 
 Range discovery: when a range joins, its node broadcasts an
 ``announce-range`` carrying the places it governs; every node replicates the
 directory, giving Context Servers the synchronous ``peer_lookup`` they need
 when deciding whether to forward a query (Section 5's lobby -> Level 10
-hand-over).
+hand-over). ``flood=True`` makes every node broadcast via the dedup flood
+instead of the default distribution tree (see
+:meth:`repro.overlay.node.OverlayNode.broadcast`).
 """
 
 from __future__ import annotations
 
+import bisect
 import logging
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.errors import RoutingError
 from repro.core.ids import GUID
 from repro.net.transport import Network
-from repro.overlay.node import OverlayNode
+from repro.overlay.node import LEAF_HALF, OverlayNode
 
 logger = logging.getLogger(__name__)
 
@@ -35,10 +52,16 @@ logger = logging.getLogger(__name__)
 class SCINet:
     """Manager for one overlay (one "group" of ranges)."""
 
-    def __init__(self, network: Network, group_name: str = "scinet"):
+    def __init__(self, network: Network, group_name: str = "scinet",
+                 incremental: bool = True, flood: bool = False):
         self.network = network
         self.group_name = group_name
+        self.incremental = incremental
+        self.flood = flood
         self._nodes: Dict[str, OverlayNode] = {}
+        #: members sorted by GUID value — the ring the incremental path
+        #: derives exact leaf sets from (maintained in both modes)
+        self._ring: List[GUID] = []
 
     # -- membership -----------------------------------------------------------------
 
@@ -48,18 +71,23 @@ class SCINet:
         """Add ``node`` to the overlay and announce its range's places."""
         if node.guid.hex in self._nodes:
             raise RoutingError(f"node already in {self.group_name}: {node.guid}")
-        # Seed the newcomer's table with current members and tell members
-        # about the newcomer (management plane; see module docstring).
-        for member in self._nodes.values():
-            node.table.add(member.guid)
-            member.table.add(node.guid)
-            # Directory state transfer: a newcomer must know the places
-            # existing ranges announced before it joined (Section 5's
-            # forwarding works regardless of which range booted first).
-            for place, cs_hex in member.directory.items():
-                node.directory.setdefault(place, cs_hex)
-        self._nodes[node.guid.hex] = node
-        self._refresh_leaf_sets()
+        node.flood_broadcasts = self.flood
+        if self.incremental:
+            self._join_incremental(node)
+        else:
+            # Seed the newcomer's table with current members and tell members
+            # about the newcomer (management plane; see module docstring).
+            for member in self._nodes.values():
+                node.table.add(member.guid)
+                member.table.add(node.guid)
+                # Directory state transfer: a newcomer must know the places
+                # existing ranges announced before it joined (Section 5's
+                # forwarding works regardless of which range booted first).
+                for place, cs_hex in member.directory.items():
+                    node.directory.setdefault(place, cs_hex)
+            self._nodes[node.guid.hex] = node
+            bisect.insort(self._ring, node.guid)
+            self._refresh_leaf_sets()
         if announce and places:
             node.broadcast("announce-range", {
                 "range": node.range_name,
@@ -70,6 +98,36 @@ class SCINet:
         logger.info("%s: %s joined (%d nodes)", self.group_name,
                     node.range_name or node.guid, len(self._nodes))
         return node
+
+    def _join_incremental(self, node: OverlayNode) -> None:
+        """Pastry-style join: seed from the ring flankers, announce to the
+        learned set, repair leaf sets only around the insertion point."""
+        guid = node.guid
+        index = bisect.bisect_left(self._ring, guid)
+        members = len(self._ring)
+        if members:
+            flankers = {self._ring[index % members],
+                        self._ring[(index - 1) % members]}
+            for flanker in flankers:
+                member = self._nodes[flanker.hex]
+                node.table.add(flanker)
+                # every copied entry self-files under the correct row/digit
+                for known in member.table.known_nodes():
+                    if known != guid:
+                        node.table.add(known)
+                # directory transfer from the replicated cache — any single
+                # quiesced member carries the full directory
+                for place, cs_hex in member.directory.items():
+                    node.directory.setdefault(place, cs_hex)
+        self._ring.insert(index, guid)
+        self._nodes[guid.hex] = node
+        # the join's final step: the newcomer introduces itself to every
+        # node it learned of, so routes toward its arc start landing on it
+        for known in node.table.known_nodes():
+            self._nodes[known.hex].table.add(guid)
+        # exact leaf sets for the newcomer and the only nodes whose leaf
+        # sets can have changed: its <= 2*LEAF_HALF ring neighbours
+        self._recompute_leaves(range(index - LEAF_HALF, index + LEAF_HALF + 1))
 
     def create_node(self, host_id: str, range_name: str = "",
                     owner_cs_hex: Optional[str] = None,
@@ -83,13 +141,11 @@ class SCINet:
 
     def leave(self, node_hex: str) -> None:
         """Graceful departure: retract directory entries, update tables."""
-        node = self._nodes.pop(node_hex, None)
+        node = self._nodes.get(node_hex)
         if node is None:
             return
         node.broadcast("retract-range", {"cs": node.owner_cs_hex or node.guid.hex})
-        for member in self._nodes.values():
-            member.table.remove(node.guid)
-        self._refresh_leaf_sets()
+        self._remove_member(node)
         node.detach()
 
     def fail(self, node_hex: str) -> None:
@@ -99,13 +155,43 @@ class SCINet:
         management plane repairs eagerly, which is equivalent for the
         routing-correctness experiments.)
         """
-        node = self._nodes.pop(node_hex, None)
+        node = self._nodes.get(node_hex)
         if node is None:
             return
+        self._remove_member(node)
+        node.detach()
+
+    def _remove_member(self, node: OverlayNode) -> None:
+        del self._nodes[node.guid.hex]
+        index = bisect.bisect_left(self._ring, node.guid)
+        self._ring.pop(index)
         for member in self._nodes.values():
             member.table.remove(node.guid)
-        self._refresh_leaf_sets()
-        node.detach()
+        if self.incremental:
+            # only the departed node's ring neighbourhood can have held it
+            # in a leaf set; restore their exact lists from the ring
+            self._recompute_leaves(range(index - LEAF_HALF, index + LEAF_HALF))
+        else:
+            self._refresh_leaf_sets()
+
+    def _recompute_leaves(self, indices: Iterable[int]) -> None:
+        """Install exact, ring-derived leaf lists for the given ring
+        positions (modulo the ring; duplicates collapse)."""
+        ring = self._ring
+        members = len(ring)
+        if not members:
+            return
+        count = min(LEAF_HALF, members - 1)
+        done = set()
+        for raw in indices:
+            i = raw % members
+            if i in done:
+                continue
+            done.add(i)
+            owner = ring[i]
+            right = [ring[(i + 1 + j) % members] for j in range(count)]
+            left = [ring[(i - 1 - j) % members] for j in range(count)]
+            self._nodes[owner.hex].table.set_leaf_lists(right, left)
 
     def _refresh_leaf_sets(self) -> None:
         members = [node.guid for node in self._nodes.values()]

@@ -121,6 +121,59 @@ class TestBoundedRuns:
             sched.run_until_idle(max_events=1000)
 
 
+class TestPendingCounter:
+    """``Scheduler.pending`` is a live counter (O(1)), not a heap scan —
+    these pin it to the brute-force ground truth under churn."""
+
+    @staticmethod
+    def heap_scan(sched):
+        return sum(1 for _, _, timer in sched._heap if not timer.cancelled)
+
+    def test_counter_matches_heap_scan_under_churn(self):
+        import random
+        rng = random.Random(13)
+        sched = Scheduler()
+        timers = []
+        for _ in range(300):
+            action = rng.random()
+            if action < 0.5:
+                timers.append(sched.schedule(rng.uniform(0, 10), lambda: None))
+            elif action < 0.8 and timers:
+                timers.pop(rng.randrange(len(timers))).cancel()
+            else:
+                sched.run_for(rng.uniform(0, 2))
+                timers = [t for t in timers if t.when > sched.now]
+            assert sched.pending == self.heap_scan(sched)
+        sched.run_until_idle()
+        assert sched.pending == self.heap_scan(sched) == 0
+
+    def test_cancel_after_fire_is_a_noop(self):
+        sched = Scheduler()
+        timer = sched.schedule(1.0, lambda: None)
+        sched.schedule(5.0, lambda: None)
+        sched.run_until(2.0)
+        assert sched.pending == 1
+        timer.cancel()  # already fired: must not decrement
+        assert sched.pending == 1
+
+    def test_double_cancel_counts_once(self):
+        sched = Scheduler()
+        timer = sched.schedule(1.0, lambda: None)
+        sched.schedule(2.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        assert sched.pending == 1
+
+    def test_periodic_cancel_keeps_counter_exact(self):
+        sched = Scheduler()
+        handle = sched.schedule_periodic(1.0, lambda: None)
+        sched.run_until(3.0)
+        assert sched.pending == self.heap_scan(sched)
+        handle.cancel()
+        sched.run_until_idle()
+        assert sched.pending == self.heap_scan(sched) == 0
+
+
 class TestPeriodic:
     def test_fires_every_interval(self):
         sched = Scheduler()

@@ -165,6 +165,14 @@ class TestHosts:
         FunctionProcess(guids.mint(), "host-b", network, lambda m: None)
         assert network.processes_on("host-a") == [a]
 
+    def test_detach_removes_from_host_index(self, network, guids):
+        a = FunctionProcess(guids.mint(), "host-a", network, lambda m: None)
+        b = FunctionProcess(guids.mint(), "host-a", network, lambda m: None)
+        a.detach()
+        assert network.processes_on("host-a") == [b]
+        b.detach()
+        assert network.processes_on("host-a") == []
+
 
 class TestLatencyModels:
     def test_fixed(self):
