@@ -70,6 +70,16 @@ class SCIConfig:
     #: bound on re-compositions per configuration (future-work item 3);
     #: None = adapt forever
     max_repairs_per_config: Optional[int] = None
+    #: range mediators deliver events acknowledged/sequenced (False = the
+    #: fire-and-forget ablation)
+    reliable_events: bool = True
+    #: detect SCINET node failure from missed heartbeats instead of oracle
+    #: ``SCINet.fail`` calls. Opt-in: the periodic heartbeats keep the
+    #: scheduler busy, so ``run_until_idle``-style workloads must not
+    #: enable this.
+    overlay_failure_detection: bool = False
+    overlay_fd_interval: float = 5.0
+    overlay_fd_timeout: float = 15.0
 
 
 class SCI:
@@ -89,7 +99,12 @@ class SCI:
         self.registry: TypeRegistry = register_location_converters(
             standard_registry(), self.building)
         self.world = World(self.building, self.scheduler)
-        self.scinet = SCINet(self.network)
+        self.scinet = SCINet(
+            self.network,
+            failure_detection=self.config.overlay_failure_detection,
+            fd_interval=self.config.overlay_fd_interval,
+            fd_timeout=self.config.overlay_fd_timeout,
+        )
         self.injector = FaultInjector(self.network, seed=self.config.seed)
         self.ranges: Dict[str, ContextServer] = {}
         self.applications: Dict[str, ContextAwareApplication] = {}
@@ -124,6 +139,7 @@ class SCI:
             templates=templates or standard_templates(self.guids, self.building),
             lease_duration=self.config.lease_duration,
             max_repairs_per_config=self.config.max_repairs_per_config,
+            reliable_events=self.config.reliable_events,
         )
         announced = sorted(set(definition.rooms(self.building)) | set(places))
         node = self.scinet.create_node(cs_host, range_name=name,

@@ -33,12 +33,21 @@ from repro.core.types import TypeSpec
 from repro.entities.advertisement import Advertisement
 from repro.entities.profile import Profile
 from repro.events.event import ContextEvent
+from repro.events.stream import StreamReassembler
 from repro.net.message import BROADCAST, Message
 from repro.net.rpc import RequestManager
 from repro.net.sim import Timer
 from repro.net.transport import Network, Process
 
 logger = logging.getLogger(__name__)
+
+#: retransmission budgets for the component-side RPCs that must survive a
+#: lossy network: the Figure-5 registration and the lease heartbeats
+REGISTER_RETRIES = 2
+HEARTBEAT_RETRIES = 1
+RESYNC_RETRIES = 2
+PUBLISH_RETRIES = 4
+PUBLISH_ACK_TIMEOUT = 5.0
 
 
 class BaseComponent(Process):
@@ -61,6 +70,12 @@ class BaseComponent(Process):
         self.lease_duration: Optional[float] = None
         self._heartbeat_timer: Optional[Timer] = None
         self._params: Dict[str, Any] = {}
+        #: restores publish order over sequenced (reliable-mediator) streams;
+        #: unsequenced deliveries pass straight through
+        self.streams = StreamReassembler(
+            self.scheduler, self._deliver_event,
+            request_resync=self._request_resync,
+            metrics=network.obs.metrics)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -81,6 +96,7 @@ class BaseComponent(Process):
         self.registered = False
         if self._heartbeat_timer is not None:
             self._heartbeat_timer.cancel()
+        self.streams.reset()
         self.requests.cancel_all()
         self.detach()
 
@@ -107,6 +123,7 @@ class BaseComponent(Process):
         self.context_server = None
         self.event_mediator = None
         self.range_name = None
+        self.streams.reset()
         if self._heartbeat_timer is not None:
             self._heartbeat_timer.cancel()
             self._heartbeat_timer = None
@@ -143,6 +160,7 @@ class BaseComponent(Process):
             },
             on_reply=self._handle_register_ack,
             on_timeout=self._handle_register_timeout,
+            retries=REGISTER_RETRIES,
         )
 
     def _handle_register_ack(self, reply: Message) -> None:
@@ -167,8 +185,20 @@ class BaseComponent(Process):
         self.registrar = None
 
     def _send_heartbeat(self) -> None:
-        if self.registered and self.registrar is not None:
-            self.send(self.registrar, "heartbeat", {"entity": self.guid.hex})
+        """Renew the lease; a heartbeat lost to the network is retransmitted.
+
+        The first-ack window stays well above a campus round trip but under
+        the heartbeat interval, so one transport-level loss no longer costs
+        a whole renewal period — a third of the entire lease.
+        """
+        if not (self.registered and self.registrar is not None):
+            return
+        interval = (self.lease_duration or 30.0) / 3.0
+        self.requests.request(
+            self.registrar, "heartbeat", {"entity": self.guid.hex},
+            timeout=max(interval * 0.45, 3.5),
+            retries=HEARTBEAT_RETRIES,
+        )
 
     def _handle_deregistered(self, message: Message) -> None:
         """The Registrar evicted us (lease expiry or range departure).
@@ -213,6 +243,48 @@ class BaseComponent(Process):
         else:
             self.handle_component_message(message)
 
+    # -- event intake (ConsumeInterface plumbing) -------------------------------------
+
+    def handle_event_message(self, message: Message) -> None:
+        """Ack (when sequenced), reassemble, then hand to the consume hook.
+
+        Sequenced deliveries come from a reliable mediator expecting an
+        ``event-ack``; the reassembler restores publish order, drops the
+        duplicates a raced retransmission can produce, and requests a resync
+        for holes that outlive the mediator's retransmission budget.
+        """
+        payload = message.payload
+        seq = payload.get("seq")
+        if seq is not None:
+            self.reply(message, "event-ack", {"sub_id": payload.get("sub_id")})
+        self.streams.offer(payload.get("sub_id"), seq, payload)
+
+    def _deliver_event(self, payload: Dict[str, Any]) -> None:
+        event = ContextEvent.from_wire(payload["event"])
+        self._consume_event(event, payload.get("sub_id"))
+
+    def _consume_event(self, event: ContextEvent, sub_id: Optional[int]) -> None:
+        """Subclass hook: an in-order, deduplicated event is ready."""
+        self.on_event(event, sub_id)
+
+    def _request_resync(self, sub_id: int) -> None:
+        if not self.registered or self.event_mediator is None:
+            return
+        self.requests.request(
+            self.event_mediator, "resync", {"sub_id": sub_id},
+            on_reply=lambda reply: self._handle_resync_ack(sub_id, reply),
+            on_timeout=lambda: self.streams.resync_failed(sub_id),
+            timeout=10.0, retries=RESYNC_RETRIES,
+        )
+
+    def _handle_resync_ack(self, sub_id: int, reply: Message) -> None:
+        if reply.payload.get("ok"):
+            self.streams.resync_done(sub_id, reply.payload.get("seq", 0))
+        else:
+            # the mediator no longer knows this subscription; its stream is
+            # dead and any buffered fragments with it
+            self.streams.forget(sub_id)
+
     # -- hooks ---------------------------------------------------------------------------
 
     def on_registered(self) -> None:
@@ -224,9 +296,15 @@ class BaseComponent(Process):
     def on_param_set(self, name: str, value: Any) -> None:
         """Called when a profile parameter is bound."""
 
+    def on_event(self, event: ContextEvent, sub_id: Optional[int]) -> None:
+        """A subscribed event arrived (in order, exactly once)."""
+
     def handle_component_message(self, message: Message) -> None:
-        """Kind-specific traffic for subclasses; default ignores."""
-        logger.debug("%s ignoring %s", self.name, message)
+        """Kind-specific traffic for subclasses; default handles events."""
+        if message.kind == "event":
+            self.handle_event_message(message)
+        else:
+            logger.debug("%s ignoring %s", self.name, message)
 
 
 class ContextEntity(BaseComponent):
@@ -265,18 +343,19 @@ class ContextEntity(BaseComponent):
             timestamp=self.now,
             attributes=attributes or {},
         )
-        self.send(self.event_mediator, "publish", {"event": event.to_wire()})
+        # acknowledged publish: the mediator answers publish-ack, so a
+        # publication lost on the wire is retransmitted (and deduplicated
+        # receiver-side) instead of silently vanishing from every stream
+        self.requests.request(
+            self.event_mediator, "publish", {"event": event.to_wire()},
+            timeout=PUBLISH_ACK_TIMEOUT, retries=PUBLISH_RETRIES)
         self.events_published += 1
         return event
 
     # -- consuming / serving ------------------------------------------------------
 
     def handle_component_message(self, message: Message) -> None:
-        if message.kind == "event":
-            self.events_consumed += 1
-            event = ContextEvent.from_wire(message.payload["event"])
-            self.on_event(event, message.payload.get("sub_id"))
-        elif message.kind == "service-invoke":
+        if message.kind == "service-invoke":
             operation = message.payload.get("operation", "")
             args = message.payload.get("args", {})
             if not any(ad.supports(operation) for ad in self.advertisements):
@@ -287,6 +366,10 @@ class ContextEntity(BaseComponent):
             self.reply(message, "service-result", {"ok": True, "result": result})
         else:
             super().handle_component_message(message)
+
+    def _consume_event(self, event: ContextEvent, sub_id: Optional[int]) -> None:
+        self.events_consumed += 1
+        self.on_event(event, sub_id)
 
     # -- hooks ----------------------------------------------------------------------
 
@@ -382,16 +465,16 @@ class ContextAwareApplication(BaseComponent):
     # -- receiving --------------------------------------------------------------------
 
     def handle_component_message(self, message: Message) -> None:
-        if message.kind == "event":
-            event = ContextEvent.from_wire(message.payload["event"])
-            self.events.append(event)
-            self.on_event(event, message.payload.get("sub_id"))
-        elif message.kind == "query-result":
+        if message.kind == "query-result":
             self.results.append(dict(message.payload))
             self.on_query_result(message.payload.get("query_id", ""),
                                  message.payload)
         else:
             super().handle_component_message(message)
+
+    def _consume_event(self, event: ContextEvent, sub_id: Optional[int]) -> None:
+        self.events.append(event)
+        self.on_event(event, sub_id)
 
     # -- hooks ---------------------------------------------------------------------------
 

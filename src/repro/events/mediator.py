@@ -14,6 +14,19 @@ mediator exactly like local components do):
 ``unsubscribe-owner``  {"owner"} -> ``unsubscribe-owner-ack``
 ``bridge-add``         {"peer", "filter"} -> ``bridge-ack``
 ``bridge-remove``      {"bridge_id"} -> ``bridge-ack``
+``resync``             {"sub_id"} -> ``resync-ack`` (reliable mode)
+
+Reliable mode (``reliable=True``): every delivery carries a
+per-subscription sequence number and is sent as an acknowledged request —
+the subscriber replies ``event-ack``, unanswered deliveries are
+retransmitted with backoff up to a bounded budget (transport-level dedup
+keeps observable delivery exactly-once; see
+:class:`repro.net.rpc.RequestManager`). Subscribers that still find a hole
+in the sequence (the budget ran dry) send ``resync``: the mediator replays
+the retained events matching that subscription under fresh sequence
+numbers and answers with the baseline seq to fast-forward past. The
+default stays unreliable fire-and-forget — identical wire behaviour to the
+seed — and the Context Server opts its range mediator in.
 
 Bridges republish matching events to a peer mediator in another range; a
 ``bridged`` marker stops an event from being re-bridged, so two mediators
@@ -37,9 +50,10 @@ from typing import Dict, List, Optional
 
 from repro.core.ids import GUID
 from repro.net.message import Message
+from repro.net.rpc import RequestManager
 from repro.net.transport import Network, Process
 from repro.events.event import ContextEvent
-from repro.events.dispatch_index import DispatchIndex
+from repro.events.dispatch_index import DispatchIndex, analyse_filter
 from repro.events.filters import EventFilter, filter_from_spec
 from repro.events.subscription import Subscription
 
@@ -47,6 +61,13 @@ logger = logging.getLogger(__name__)
 
 #: default bound on retained events per mediator; oldest-first eviction
 DEFAULT_RETAINED_CAP = 4096
+
+#: reliable-mode delivery defaults: first ack wait, retransmission budget
+#: and backoff. Sized so the full retransmit window (~190 time units)
+#: comfortably outlives any bounded loss episode the chaos experiments run.
+DEFAULT_ACK_TIMEOUT = 6.0
+DEFAULT_DELIVERY_RETRIES = 6
+DELIVERY_BACKOFF = 1.5
 
 
 @dataclass
@@ -65,13 +86,20 @@ class EventMediator(Process):
     def __init__(self, guid: GUID, host_id: str, network: Network,
                  range_name: str = "",
                  retained_cap: int = DEFAULT_RETAINED_CAP,
-                 indexed: bool = True):
+                 indexed: bool = True,
+                 reliable: bool = False,
+                 ack_timeout: float = DEFAULT_ACK_TIMEOUT,
+                 delivery_retries: int = DEFAULT_DELIVERY_RETRIES):
         super().__init__(guid, host_id, network, name=f"mediator:{range_name or guid}")
         if retained_cap < 1:
             raise ValueError(f"retained_cap must be >= 1, got {retained_cap}")
         self.range_name = range_name
         self.retained_cap = retained_cap
         self.indexed = indexed
+        self.reliable = reliable
+        self.requests = RequestManager(
+            self, default_timeout=ack_timeout, max_retries=delivery_retries,
+            backoff_factor=DELIVERY_BACKOFF)
         self._subscriptions: Dict[int, Subscription] = {}
         self._bridges: Dict[int, Bridge] = {}
         self._next_bridge_id = 1
@@ -112,6 +140,16 @@ class EventMediator(Process):
             "mediator.retained.evicted",
             "retained events dropped by the oldest-first cap",
             labels=("range",))
+        self._ack_exhausted_counter = metrics.counter(
+            "mediator.seq.ack_exhausted",
+            "reliable deliveries whose whole retransmission budget expired",
+            labels=("range",))
+        self._resync_replays_counter = metrics.counter(
+            "mediator.seq.resync_replays",
+            "retained events replayed to resync a gapped subscriber",
+            labels=("range",))
+        self.resyncs_served = 0
+        self.deliveries_exhausted = 0
 
     # -- direct API (used by co-located Context Server and by tests) ---------
 
@@ -305,8 +343,13 @@ class EventMediator(Process):
 
     def _forward(self, bridge: Bridge, event: ContextEvent) -> None:
         bridge.forwarded += 1
-        self.send(bridge.peer, "publish",
-                  {"event": event.to_wire(), "bridged": True})
+        payload = {"event": event.to_wire(), "bridged": True}
+        if self.reliable:
+            # inter-range forwarding rides the same ack/retry machinery;
+            # the peer's publish-ack resolves the request
+            self.requests.request(bridge.peer, "publish", payload)
+        else:
+            self.send(bridge.peer, "publish", payload)
 
     def _store_retained(self, event: ContextEvent) -> None:
         key = (event.type_name, event.representation, event.subject)
@@ -330,12 +373,34 @@ class EventMediator(Process):
         with self.network.obs.tracer.span_if_active(
                 "mediator.deliver", range=self.range_name,
                 type=event.type_name, sub_id=subscription.sub_id):
-            self.send(subscription.subscriber, "event",
-                      {"event": event.to_wire(), "sub_id": subscription.sub_id})
+            if not self.reliable:
+                self.send(subscription.subscriber, "event",
+                          {"event": event.to_wire(),
+                           "sub_id": subscription.sub_id})
+                return
+            seq = subscription.next_seq()
+            self.requests.request(
+                subscription.subscriber, "event",
+                {"event": event.to_wire(), "sub_id": subscription.sub_id,
+                 "seq": seq},
+                on_timeout=lambda: self._delivery_exhausted(subscription, seq))
+
+    def _delivery_exhausted(self, subscription: Subscription, seq: int) -> None:
+        """The retransmission budget for one delivery ran dry.
+
+        Nothing more to do mediator-side: the subscriber sees the hole in
+        the sequence and drives recovery through ``resync``.
+        """
+        self.deliveries_exhausted += 1
+        self._ack_exhausted_counter.inc(range=self.range_name or "-")
+        logger.info("%s: delivery seq=%d to %s unacked after retries",
+                    self.name, seq, subscription.subscriber)
 
     # -- message protocol -----------------------------------------------------
 
     def on_message(self, message: Message) -> None:
+        if self.requests.dispatch_reply(message):
+            return  # an event-ack resolved a reliable delivery
         handler = getattr(self, f"_handle_{message.kind.replace('-', '_')}", None)
         if handler is None:
             logger.debug("%s ignoring %s", self.name, message)
@@ -344,7 +409,10 @@ class EventMediator(Process):
 
     def _handle_publish(self, message: Message) -> None:
         event = ContextEvent.from_wire(message.payload["event"])
-        self.publish(event, bridged=bool(message.payload.get("bridged")))
+        delivered = self.publish(event, bridged=bool(message.payload.get("bridged")))
+        # publishers that request-with-retries consume this ack; fire-and-
+        # forget publishers (and peer mediators) simply ignore it
+        self.reply(message, "publish-ack", {"delivered": delivered})
 
     def _handle_subscribe(self, message: Message) -> None:
         event_filter = filter_from_spec(message.payload["filter"])
@@ -374,6 +442,32 @@ class EventMediator(Process):
     def _handle_bridge_remove(self, message: Message) -> None:
         removed = self.remove_bridge(message.payload["bridge_id"])
         self.reply(message, "bridge-ack", {"removed": removed})
+
+    def _handle_resync(self, message: Message) -> None:
+        """A subscriber found an unrecoverable hole in its sequence.
+
+        Replay the retained events its filter matches under *fresh* sequence
+        numbers and answer with the pre-replay baseline: the subscriber
+        fast-forwards past the hole and then consumes the replay in order,
+        restoring the current retained state without duplicating anything it
+        already saw (stale seqs are dropped by its reassembler).
+        """
+        sub_id = message.payload.get("sub_id")
+        subscription = self._subscriptions.get(sub_id)
+        if subscription is None or not subscription.active:
+            self.reply(message, "resync-ack", {"ok": False, "sub_id": sub_id})
+            return
+        baseline = subscription.seq
+        self.resyncs_served += 1
+        before = self.deliveries
+        self._replay_retained(subscription,
+                              analyse_filter(subscription.filter))
+        self._resync_replays_counter.inc(self.deliveries - before,
+                                         range=self.range_name or "-")
+        if not subscription.active:  # one-time sub consumed by the replay
+            self._drop_subscription(subscription)
+        self.reply(message, "resync-ack",
+                   {"ok": True, "sub_id": sub_id, "seq": baseline})
 
     # -- introspection --------------------------------------------------------
 

@@ -33,11 +33,18 @@ class Subscription:
     sub_id: int = field(default_factory=lambda: next(_subscription_ids))
     delivered: int = 0
     active: bool = True
+    #: last sequence number stamped on a reliable delivery for this
+    #: subscription; subscribers detect silent loss as holes in the sequence
+    seq: int = 0
 
     def record_delivery(self) -> None:
         self.delivered += 1
         if self.one_time:
             self.active = False
+
+    def next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
 
     def __str__(self) -> str:
         mode = "one-time" if self.one_time else "durable"

@@ -34,6 +34,10 @@ class StreamProbe:
                  type_name: Optional[str] = None):
         self.app = app
         self.type_name = type_name
+        #: when observation began — the anchor the first gap is measured
+        #: from; a stream that is quiet from the moment the probe attaches
+        #: is a gap even though no arrival has been recorded yet
+        self.attached_at = app.now
         self.arrivals: List[float] = []
         self._previous_on_event = app.on_event
 
@@ -57,8 +61,12 @@ class StreamProbe:
             raise ValueError(f"non-positive interval: {expected_interval}")
         end_time = until if until is not None else self.app.now
         found: List[DeliveryGap] = []
-        previous = self.arrivals[0] if self.arrivals else 0.0
-        for arrival in self.arrivals[1:]:
+        # anchor at attach time, not the first arrival: a stream that takes
+        # longer than one cadence to start delivering was already gapped,
+        # and an empty arrival list is one long gap — previously the first
+        # arrival was silently treated as the epoch, hiding both cases
+        previous = self.attached_at
+        for arrival in self.arrivals:
             if arrival - previous > expected_interval:
                 found.append(DeliveryGap(previous, arrival))
             previous = arrival

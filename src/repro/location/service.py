@@ -189,15 +189,22 @@ class LocationService(Process):
         keeping it here is what lets the Context Server evaluate
         ``enters(entity, place)`` triggers and ``closest-to(me)`` policies
         without per-person tracking configurations.
+
+        Sequenced deliveries (reliable mediator) are acked; a fix older
+        than the one already tracked — a retransmission arriving after a
+        newer event — is ignored rather than rolling the entity back.
         """
+        if "seq" in message.payload:
+            self.reply(message, "event-ack",
+                       {"sub_id": message.payload.get("sub_id")})
         wire = message.payload["event"]
         if wire["type"] == "presence" and isinstance(wire["value"], dict):
             to_room = wire["value"].get("to")
             entity = wire["value"].get("entity")
             if to_room and entity:
                 try:
-                    self.update(str(entity), room=to_room,
-                                timestamp=wire["timestamp"])
+                    self._ingest(str(entity), room=to_room,
+                                 timestamp=wire["timestamp"])
                 except LocationError as exc:
                     logger.warning("%s could not ingest presence %s: %s",
                                    self.name, wire, exc)
@@ -209,13 +216,27 @@ class LocationService(Process):
         try:
             if representation in ("topological", "symbolic"):
                 room = str(value).rsplit("/", 1)[-1]
-                self.update(str(wire["subject"]), room=room, timestamp=wire["timestamp"])
+                self._ingest(str(wire["subject"]), room=room,
+                             timestamp=wire["timestamp"])
             elif representation == "geometric":
-                self.update(str(wire["subject"]),
-                            point=Point(value[0], value[1]),
-                            timestamp=wire["timestamp"])
+                self._ingest(str(wire["subject"]),
+                             point=Point(value[0], value[1]),
+                             timestamp=wire["timestamp"])
         except LocationError as exc:
             logger.warning("%s could not ingest %s: %s", self.name, wire, exc)
+
+    def _ingest(self, entity_key: str, room: Optional[str] = None,
+                point: Optional[Point] = None,
+                timestamp: Optional[float] = None) -> Optional[EntityFix]:
+        """Fold an event-borne fix in unless a newer one is already held."""
+        current = self._fixes.get(entity_key)
+        if (current is not None and timestamp is not None
+                and timestamp < current.timestamp):
+            logger.debug("%s dropping stale fix for %s (%.2f < %.2f)",
+                         self.name, entity_key, timestamp, current.timestamp)
+            return None
+        return self.update(entity_key, room=room, point=point,
+                           timestamp=timestamp)
 
     def _handle_locate(self, message: Message) -> None:
         fix = self.locate(message.payload["entity"])

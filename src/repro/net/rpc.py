@@ -5,12 +5,23 @@ point communication". The point-to-point half needs request/reply semantics
 (register -> ack, query -> results, profile request -> profile). The
 :class:`RequestManager` gives a :class:`~repro.net.transport.Process` that
 capability: it assigns callbacks to outgoing requests and routes replies (or
-timeouts, since the transport drops silently) back to them.
+timeouts) back to them.
+
+Reliability: the transport drops silently (UDP-style), so a request can be
+retransmitted up to a bounded budget (``max_retries``) with exponential
+backoff and deterministic jitter before ``on_timeout`` fires. Retransmitted
+copies carry the *original* ``msg_id`` — the receiver's ``(sender, msg_id)``
+dedup cache (see :meth:`repro.net.transport.Process.deliver`) suppresses the
+duplicates and replays the cached reply, so at-least-once retransmission
+plus receiver dedup yields exactly-once observable delivery. The default
+budget is zero retries, preserving plain fire-and-expire semantics for
+callers that implement their own policy.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import random
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from repro.core.ids import GUID
@@ -31,6 +42,12 @@ class PendingRequest:
     #: set when resolved either way; late replies to a timed-out request are
     #: dropped rather than invoking the callback twice.
     resolved: bool = False
+    #: the original wire message, kept so retransmissions reuse its msg_id
+    message: Optional[Message] = None
+    #: transmissions so far (the initial send counts as 1)
+    attempts: int = 1
+    max_retries: int = 0
+    base_timeout: float = 0.0
 
 
 class RequestManager:
@@ -45,14 +62,39 @@ class RequestManager:
             ...  # normal protocol handling
     """
 
-    def __init__(self, owner: Process, default_timeout: float = 50.0):
+    def __init__(self, owner: Process, default_timeout: float = 50.0,
+                 max_retries: int = 0, backoff_factor: float = 2.0,
+                 jitter: float = 0.25):
         if default_timeout <= 0:
             raise ValueError(f"non-positive timeout: {default_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"negative retry budget: {max_retries}")
+        if backoff_factor < 1.0:
+            raise ValueError(f"backoff factor must be >= 1: {backoff_factor}")
         self.owner = owner
         self.default_timeout = default_timeout
+        self.max_retries = max_retries
+        self.backoff_factor = backoff_factor
+        self.jitter = jitter
+        # jitter stream seeded from the owner's GUID: deterministic per
+        # process, and independent of the network's latency/drop stream
+        self._rng = random.Random(owner.guid.value & 0xFFFFFFFFFFFF)
         self._pending: Dict[int, PendingRequest] = {}
         self.timeouts = 0
         self.completed = 0
+        self.retries = 0
+        metrics = owner.network.obs.metrics
+        self._retry_attempts_counter = metrics.counter(
+            "net.retry.attempts", "request retransmissions, by request kind",
+            labels=("kind",))
+        self._retry_exhausted_counter = metrics.counter(
+            "net.retry.exhausted",
+            "requests whose whole retry budget expired unanswered",
+            labels=("kind",))
+        self._retry_recovered_counter = metrics.counter(
+            "net.retry.recovered",
+            "requests answered only after at least one retransmission",
+            labels=("kind",))
 
     def request(
         self,
@@ -62,17 +104,25 @@ class RequestManager:
         on_reply: Optional[Callable[[Message], None]] = None,
         on_timeout: Optional[Callable[[], None]] = None,
         timeout: Optional[float] = None,
+        retries: Optional[int] = None,
     ) -> PendingRequest:
-        """Send ``kind``/``payload`` to ``recipient`` expecting a reply."""
+        """Send ``kind``/``payload`` to ``recipient`` expecting a reply.
+
+        ``retries`` overrides the manager's ``max_retries`` budget for this
+        one request.
+        """
         message = self.owner.send(recipient, kind, payload)
         pending = PendingRequest(
             msg_id=message.msg_id,
             kind=kind,
             on_reply=on_reply or (lambda _reply: None),
             on_timeout=on_timeout,
+            message=message,
+            max_retries=self.max_retries if retries is None else retries,
         )
-        window = timeout if timeout is not None else self.default_timeout
-        pending.timer = self.owner.scheduler.schedule(window, self._expire, pending)
+        pending.base_timeout = timeout if timeout is not None else self.default_timeout
+        pending.timer = self.owner.scheduler.schedule(
+            pending.base_timeout, self._expire, pending)
         self._pending[message.msg_id] = pending
         return pending
 
@@ -90,6 +140,8 @@ class RequestManager:
         if pending.timer is not None:
             pending.timer.cancel()
         self.completed += 1
+        if pending.attempts > 1:
+            self._retry_recovered_counter.inc(kind=pending.kind)
         pending.on_reply(message)
         return True
 
@@ -108,8 +160,36 @@ class RequestManager:
     def _expire(self, pending: PendingRequest) -> None:
         if pending.resolved:
             return
+        if pending.attempts <= pending.max_retries:
+            self._retransmit(pending)
+            return
         pending.resolved = True
         self._pending.pop(pending.msg_id, None)
         self.timeouts += 1
+        if pending.max_retries:
+            self._retry_exhausted_counter.inc(kind=pending.kind)
         if pending.on_timeout is not None:
             pending.on_timeout()
+
+    def _retransmit(self, pending: PendingRequest) -> None:
+        """Send a fresh copy carrying the original msg_id, grow the window."""
+        pending.attempts += 1
+        self.retries += 1
+        self._retry_attempts_counter.inc(kind=pending.kind)
+        original = pending.message
+        clone = Message(
+            sender=original.sender,
+            recipient=original.recipient,
+            kind=original.kind,
+            payload=original.payload,
+            msg_id=original.msg_id,
+            reply_to=original.reply_to,
+        )
+        clone.trace = original.trace
+        self.owner.network.send(clone)
+        window = pending.base_timeout * (
+            self.backoff_factor ** (pending.attempts - 1))
+        if self.jitter:
+            window *= 1.0 + self.jitter * self._rng.random()
+        pending.timer = self.owner.scheduler.schedule(
+            window, self._expire, pending)

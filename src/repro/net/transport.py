@@ -4,7 +4,8 @@ A :class:`Network` owns a set of :class:`Host` machines and a registry of
 :class:`Process` endpoints (each addressed by GUID, each living on one host).
 ``Network.send`` computes a delivery latency from the configured latency
 model, applies loss and partition rules, and schedules
-``recipient.on_message`` on the shared :class:`~repro.net.sim.Scheduler`.
+``recipient.deliver`` (duplicate suppression, then ``on_message``) on the
+shared :class:`~repro.net.sim.Scheduler`.
 
 This is the substitution for the paper's Java/LAN prototype (see DESIGN.md):
 the protocol logic above it is identical to what a socket deployment would
@@ -16,6 +17,7 @@ from __future__ import annotations
 import logging
 import math
 import random
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -114,6 +116,9 @@ class CampusLatency(LatencyModel):
 
 # -- processes ---------------------------------------------------------------
 
+#: sentinel distinguishing "never seen" from "seen, no reply cached"
+_UNSEEN = object()
+
 
 class Process:
     """Base class for every middleware component that sends/receives messages.
@@ -121,13 +126,33 @@ class Process:
     Subclasses implement :meth:`on_message`. A process is attached to a
     network (which assigns nothing — the process carries its own GUID and
     host id) and unattached on failure/departure.
+
+    Inbound delivery goes through :meth:`deliver`, which suppresses
+    duplicate arrivals keyed on ``(sender, msg_id)``: retransmitted requests
+    (see :class:`repro.net.rpc.RequestManager`) reach :meth:`on_message`
+    exactly once, and if this process already replied to the original, the
+    cached reply is re-sent so a lost *reply* is regenerated without
+    re-executing the handler. The cache is a bounded LRU.
     """
+
+    #: bound on remembered (sender, msg_id) arrivals per process
+    DEDUP_CACHE = 1024
 
     def __init__(self, guid: GUID, host_id: str, network: "Network", name: str = ""):
         self.guid = guid
         self.host_id = host_id
         self.network = network
         self.name = name or f"proc-{guid}"
+        #: (sender, msg_id) -> cached reply Message (or None when the
+        #: handler produced no reply); insertion-ordered for LRU eviction
+        self._seen_messages: "OrderedDict[Tuple[GUID, int], Optional[Message]]" = OrderedDict()
+        metrics = network.obs.metrics
+        self._dedup_suppressed_counter = metrics.counter(
+            "net.dedup.suppressed",
+            "duplicate (sender, msg_id) arrivals dropped before the handler")
+        self._dedup_replayed_counter = metrics.counter(
+            "net.dedup.replayed_replies",
+            "cached replies re-sent in response to duplicate requests")
         network.attach(self)
 
     # -- messaging helpers ---------------------------------------------------
@@ -156,8 +181,42 @@ class Process:
     def reply(self, original: Message, kind: str, payload: Optional[Dict[str, Any]] = None) -> Message:
         """Respond to ``original``, correlating via ``reply_to``."""
         message = original.response(self.guid, kind, payload)
+        key = (original.sender, original.msg_id)
+        if key in self._seen_messages:
+            # remember the reply so a retransmitted request regenerates it
+            self._seen_messages[key] = message
         self.network.send(message)
         return message
+
+    def deliver(self, message: Message) -> None:
+        """Transport entry point: dedup by ``(sender, msg_id)``, then handle.
+
+        A duplicate arrival never reaches :meth:`on_message`; if the first
+        arrival produced a reply, a fresh copy of that reply is re-sent —
+        the requester's own dedup then collapses double acks.
+        """
+        key = (message.sender, message.msg_id)
+        cached = self._seen_messages.get(key, _UNSEEN)
+        if cached is not _UNSEEN:
+            self._seen_messages.move_to_end(key)
+            self._dedup_suppressed_counter.inc()
+            if cached is not None:
+                self._dedup_replayed_counter.inc()
+                resend = Message(
+                    sender=cached.sender,
+                    recipient=cached.recipient,
+                    kind=cached.kind,
+                    payload=cached.payload,
+                    msg_id=cached.msg_id,
+                    reply_to=cached.reply_to,
+                )
+                resend.trace = cached.trace
+                self.network.send(resend)
+            return
+        self._seen_messages[key] = None
+        while len(self._seen_messages) > self.DEDUP_CACHE:
+            self._seen_messages.popitem(last=False)
+        self.on_message(message)
 
     def detach(self) -> None:
         """Remove this process from the network (crash or clean departure)."""
@@ -370,7 +429,7 @@ class Network:
             return
         self.stats.record_delivery(recipient.host_id, self.scheduler.now - message.sent_at)
         with self.obs.tracer.activate(message.trace):
-            recipient.on_message(message)
+            recipient.deliver(message)
 
     # -- convenience ---------------------------------------------------------
 

@@ -256,6 +256,7 @@ class OverlayNode(Process):
         #: DHT storage this node is responsible for
         self.store: Dict[str, Any] = {}
         self._seen_broadcasts: Set[str] = set()
+        self._bcast_seq = 0
         self.routed = 0          # messages this node forwarded or delivered
         self.delivered = 0
         #: callbacks on delivered application payloads: (kind, body, hops)
@@ -283,6 +284,18 @@ class OverlayNode(Process):
         self._bcast_dup = metrics.counter(
             "overlay.bcast.dup_suppressed",
             "duplicate broadcast arrivals suppressed by the dedup set")
+        self._fd_heartbeats = metrics.counter(
+            "overlay.fd.heartbeats", "o-hb probes sent to leaf neighbours")
+        self._fd_suspicions = metrics.counter(
+            "overlay.fd.suspicions",
+            "leaf neighbours suspected after fd_timeout of silence")
+        # failure-detector state (inert until enable_failure_detector)
+        self.fd_interval = 0.0
+        self.fd_timeout = 0.0
+        #: callback fired as (suspect_guid, reporter_guid) on missed heartbeats
+        self.on_suspect: Optional[Callable[[GUID, GUID], None]] = None
+        self._fd_timer = None
+        self._fd_last: Dict[GUID, float] = {}
 
     # -- public API ----------------------------------------------------------------
 
@@ -308,7 +321,11 @@ class OverlayNode(Process):
         dedup flood when ``flood`` (or the node default) says so."""
         if flood is None:
             flood = self.flood_broadcasts
-        bcast_id = f"{self.guid.hex[:12]}:{self.network.scheduler.now}:{kind}"
+        # a per-node sequence (not the timestamp) keeps ids unique when one
+        # node originates two same-kind broadcasts in the same tick — e.g.
+        # a survivor retracting two ranges after a correlated crash
+        self._bcast_seq += 1
+        bcast_id = f"{self.guid.hex[:12]}:{self._bcast_seq}:{kind}"
         payload = {"bcast_id": bcast_id, "kind": kind, "body": body, "hops": 0}
         self._apply_broadcast(payload)
         if flood:
@@ -332,6 +349,71 @@ class OverlayNode(Process):
                 span.set(found=found is not None)
         self._lookup_counter.inc(hit=str(found is not None).lower())
         return found
+
+    # -- failure detection -------------------------------------------------------------
+
+    def enable_failure_detector(self, interval: float = 5.0,
+                                timeout: float = 15.0,
+                                on_suspect: Optional[Callable[[GUID, GUID], None]] = None) -> None:
+        """Monitor leaf-set neighbours with periodic ``o-hb`` heartbeats.
+
+        Leaf sets are ring-symmetric (my successor's predecessor is me), so
+        one-way probes suffice: every neighbour I probe is probing me back,
+        and ``timeout`` of silence from a neighbour means it is gone — the
+        detector then fires ``on_suspect(suspect, self.guid)``. ``timeout``
+        should span several intervals plus network latency so a single lost
+        heartbeat never ejects a live node.
+
+        Opt-in because the periodic probe keeps the scheduler busy forever,
+        which would hang ``run_until_idle``-style workloads.
+        """
+        if self._fd_timer is not None:
+            return
+        self.fd_interval = interval
+        self.fd_timeout = timeout
+        self.on_suspect = on_suspect
+        self._fd_last = {}
+        self._fd_timer = self.scheduler.schedule_periodic(interval, self._fd_tick)
+
+    def disable_failure_detector(self) -> None:
+        if self._fd_timer is not None:
+            self._fd_timer.cancel()
+            self._fd_timer = None
+        self._fd_last = {}
+
+    def crash(self) -> None:
+        """Simulate abrupt node death: stop probing, drop off the network.
+
+        The management plane is *not* told — survivors must notice the
+        silence through their own detectors (or an oracle ``fail`` call).
+        """
+        self.disable_failure_detector()
+        self.detach()
+
+    def _fd_tick(self) -> None:
+        # a detached (crashed) node must not keep suspecting live peers
+        if self.network.process(self.guid) is not self:
+            self.disable_failure_detector()
+            return
+        now = self.scheduler.now
+        leaves = self.table.leaves()
+        leaf_set = set(leaves)
+        for stale in [guid for guid in self._fd_last if guid not in leaf_set]:
+            del self._fd_last[stale]
+        for leaf in leaf_set:
+            self.send(leaf, "o-hb", {})
+        if leaf_set:
+            self._fd_heartbeats.inc(len(leaf_set))
+        for leaf in leaf_set:
+            # first observation gets a full timeout of grace from now
+            last = self._fd_last.setdefault(leaf, now)
+            if now - last > self.fd_timeout:
+                del self._fd_last[leaf]
+                self._fd_suspicions.inc()
+                logger.info("%s suspects %s (%.1fs of silence)",
+                            self.name, leaf, now - last)
+                if self.on_suspect is not None:
+                    self.on_suspect(leaf, self.guid)
 
     # -- routing machinery -------------------------------------------------------------
 
@@ -456,6 +538,8 @@ class OverlayNode(Process):
                 for callback in self.on_delivery:
                     callback(message.payload["kind"], message.payload["body"],
                              message.payload["hops"])
+        elif message.kind == "o-hb":
+            self._fd_last[message.sender] = self.scheduler.now
         elif message.kind == "table-add":
             self.table.add(GUID.from_hex(message.payload["node"]))
         elif message.kind == "table-remove":

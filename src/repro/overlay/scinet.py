@@ -53,15 +53,28 @@ class SCINet:
     """Manager for one overlay (one "group" of ranges)."""
 
     def __init__(self, network: Network, group_name: str = "scinet",
-                 incremental: bool = True, flood: bool = False):
+                 incremental: bool = True, flood: bool = False,
+                 failure_detection: bool = False,
+                 fd_interval: float = 5.0, fd_timeout: float = 15.0):
         self.network = network
         self.group_name = group_name
         self.incremental = incremental
         self.flood = flood
+        #: heartbeat failure detection on every member (opt-in: the periodic
+        #: probes keep the scheduler busy, so idle-driven workloads must not
+        #: enable it). With it off, failures are removed only by the oracle
+        #: :meth:`fail` call — the ablation baseline.
+        self.failure_detection = failure_detection
+        self.fd_interval = fd_interval
+        self.fd_timeout = fd_timeout
         self._nodes: Dict[str, OverlayNode] = {}
         #: members sorted by GUID value — the ring the incremental path
         #: derives exact leaf sets from (maintained in both modes)
         self._ring: List[GUID] = []
+        self.fd_removals = 0
+        self._fd_removals_counter = network.obs.metrics.counter(
+            "overlay.fd.removals",
+            "members ejected by heartbeat suspicion (vs oracle fail calls)")
 
     # -- membership -----------------------------------------------------------------
 
@@ -88,6 +101,9 @@ class SCINet:
             self._nodes[node.guid.hex] = node
             bisect.insort(self._ring, node.guid)
             self._refresh_leaf_sets()
+        if self.failure_detection:
+            node.enable_failure_detector(self.fd_interval, self.fd_timeout,
+                                         self._node_suspected)
         if announce and places:
             node.broadcast("announce-range", {
                 "range": node.range_name,
@@ -146,6 +162,7 @@ class SCINet:
             return
         node.broadcast("retract-range", {"cs": node.owner_cs_hex or node.guid.hex})
         self._remove_member(node)
+        node.disable_failure_detector()
         node.detach()
 
     def fail(self, node_hex: str) -> None:
@@ -153,13 +170,52 @@ class SCINet:
 
         (In a full Pastry, repair is lazy on failed forwards; here the
         management plane repairs eagerly, which is equivalent for the
-        routing-correctness experiments.)
+        routing-correctness experiments.) A survivor retracts the dead
+        range's directory entries on its behalf, so queries stop being
+        forwarded to a Context Server that can no longer answer — the same
+        outcome the heartbeat detector converges to.
         """
         node = self._nodes.get(node_hex)
         if node is None:
             return
         self._remove_member(node)
-        node.detach()
+        node.crash()
+        self._retract_on_behalf(node)
+
+    def _node_suspected(self, suspect: GUID, reporter: GUID) -> None:
+        """A member's failure detector reported ``suspect`` silent.
+
+        The suspect is ejected exactly as an oracle :meth:`fail` would eject
+        it: membership, ring and routing tables are repaired and a survivor
+        retracts its directory entries. If the suspicion was false — the
+        node is alive but its heartbeats were lost for a whole timeout —
+        the eject still stands (shunning): the node is crashed for real so
+        a wrongly-ejected-but-live node cannot keep suspecting survivors
+        and cascade the ejection around the ring.
+        """
+        node = self._nodes.get(suspect.hex)
+        if node is None:
+            return  # already ejected (several neighbours suspect at once)
+        logger.info("%s: %s ejected on suspicion by %s", self.group_name,
+                    node.range_name or suspect, reporter)
+        self.fd_removals += 1
+        self._fd_removals_counter.inc()
+        self._remove_member(node)
+        node.crash()
+        self._retract_on_behalf(node)
+
+    def _retract_on_behalf(self, dead: OverlayNode) -> None:
+        """Have any survivor broadcast the dead node's directory retraction.
+
+        The survivor must still be attached: under a multi-node crash a
+        member can be dead but not yet suspected, and a retraction
+        "broadcast" from a detached process silently reaches nobody.
+        """
+        survivor = next((n for n in self._nodes.values()
+                         if self.network.process(n.guid) is n), None)
+        if survivor is not None:
+            survivor.broadcast("retract-range",
+                               {"cs": dead.owner_cs_hex or dead.guid.hex})
 
     def _remove_member(self, node: OverlayNode) -> None:
         del self._nodes[node.guid.hex]

@@ -85,6 +85,7 @@ class ContextServer(Process):
         templates: Optional[TemplateRegistry] = None,
         lease_duration: float = 30.0,
         max_repairs_per_config: Optional[int] = None,
+        reliable_events: bool = True,
     ):
         super().__init__(guid, host_id, network, name=f"cs:{definition.name}")
         self.definition = definition
@@ -94,8 +95,12 @@ class ContextServer(Process):
         self.templates = templates or TemplateRegistry()
 
         # -- Context Utilities (Section 3.1's core set) -----------------------
+        # the range mediator runs in reliable (ack/retry + sequenced) mode
+        # by default; ``reliable_events=False`` is the fire-and-forget
+        # ablation matching the seed behaviour
         self.mediator = EventMediator(self.guids.mint(), host_id, network,
-                                      definition.name)
+                                      definition.name,
+                                      reliable=reliable_events)
         self.registrar = Registrar(self.guids.mint(), host_id, network,
                                    definition.name,
                                    context_server=self.guid,

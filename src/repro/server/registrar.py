@@ -184,10 +184,15 @@ class Registrar(Process):
         if record is None:
             # Entity thinks it is registered but was evicted; tell it so.
             self.send(message.sender, "deregistered", {"reason": "not-registered"})
+            self.reply(message, "heartbeat-ack", {"ok": False})
             return
         if record.lease_expiry is not None:
             record.lease_expiry = self.now + self.lease_duration
             self._track_lease(record)
+        # the ack lets the sender retransmit a heartbeat the network ate
+        # instead of losing a third of its lease (renewal is idempotent and
+        # duplicates are suppressed transport-side anyway)
+        self.reply(message, "heartbeat-ack", {"ok": True})
 
     # -- lease sweeping -----------------------------------------------------------------
 

@@ -1,0 +1,130 @@
+"""Overlapping fault episodes must compose and restore correctly.
+
+Regression tests for the restore-by-captured-value bug: a second episode
+started mid-way through a first used to capture the *degraded* state as its
+"previous" value, so whichever restore fired last left the network degraded
+forever (or healed it too early).
+"""
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.net.transport import FunctionProcess
+
+
+@pytest.fixture
+def injector(network):
+    return FaultInjector(network, seed=1)
+
+
+class TestNestedLossEpisodes:
+    def test_nested_episode_restores_base(self, network, injector):
+        # [0 ... (0.8 for 20) ... ]
+        #      [ (0.5 for 5) ]        <- nested inside the first
+        injector.loss_episode(0.8, duration=20.0)
+        network.scheduler.run_for(5.0)
+        injector.loss_episode(0.5, duration=5.0)
+        assert network.drop_rate == 0.8       # max of active episodes
+        network.scheduler.run_for(7.0)        # inner episode over
+        assert network.drop_rate == 0.8       # outer still active
+        network.scheduler.run_for(20.0)       # outer over
+        assert network.drop_rate == 0.0       # base restored, not 0.8
+
+    def test_nested_higher_rate_applies_then_recedes(self, network, injector):
+        injector.loss_episode(0.3, duration=20.0)
+        network.scheduler.run_for(5.0)
+        injector.loss_episode(0.9, duration=5.0)
+        assert network.drop_rate == 0.9
+        network.scheduler.run_for(7.0)
+        assert network.drop_rate == 0.3       # recede to the outer episode
+        network.scheduler.run_for(20.0)
+        assert network.drop_rate == 0.0
+
+    def test_interleaved_episodes(self, network, injector):
+        # A starts, B starts, A ends, B ends — the classic interleave that
+        # used to leave drop_rate stuck at A's rate forever.
+        injector.loss_episode(0.6, duration=10.0)
+        network.scheduler.run_for(5.0)
+        injector.loss_episode(0.4, duration=10.0)
+        network.scheduler.run_for(7.0)        # A ended at t=10
+        assert network.drop_rate == 0.4
+        network.scheduler.run_for(10.0)       # B ended at t=15
+        assert network.drop_rate == 0.0
+
+    def test_nonzero_base_rate_preserved(self, network, injector):
+        network.drop_rate = 0.1
+        injector.loss_episode(0.7, duration=5.0)
+        injector.loss_episode(0.5, duration=10.0)
+        network.scheduler.run_for(7.0)
+        assert network.drop_rate == 0.5
+        network.scheduler.run_for(10.0)
+        assert network.drop_rate == 0.1       # the configured floor returns
+
+    def test_active_fault_accounting(self, network, injector):
+        injector.loss_episode(0.5, duration=5.0)
+        injector.loss_episode(0.6, duration=10.0)
+        assert injector.active_faults()["loss"] == 2
+        network.scheduler.run_for(7.0)
+        assert injector.active_faults()["loss"] == 1
+        network.scheduler.run_for(10.0)
+        assert injector.active_faults()["loss"] == 0
+
+
+class TestOverlappingPartitions:
+    def test_inner_partition_recedes_to_outer(self, network, guids, injector):
+        inbox = []
+        a = FunctionProcess(guids.mint(), "host-a", network, lambda m: None)
+        b = FunctionProcess(guids.mint(), "host-b", network, inbox.append)
+        injector.partition_episode([["host-a"], ["host-b"]], duration=20.0)
+        network.scheduler.run_for(2.0)
+        injector.partition_episode([["host-a", "host-b"]], duration=5.0)
+        a.send(b.guid, "inner")               # same group: delivered
+        network.scheduler.run_for(7.0)        # inner over at t=7; outer rules
+        a.send(b.guid, "outer")               # split again: dropped
+        network.scheduler.run_for(20.0)       # outer over at t=22: healed
+        a.send(b.guid, "healed")
+        network.scheduler.run_for(10.0)
+        assert [m.kind for m in inbox] == ["inner", "healed"]
+
+    def test_partition_heals_only_after_last_episode(self, network, guids,
+                                                     injector):
+        inbox = []
+        a = FunctionProcess(guids.mint(), "host-a", network, lambda m: None)
+        b = FunctionProcess(guids.mint(), "host-b", network, inbox.append)
+        injector.partition_episode([["host-a"], ["host-b"]], duration=5.0)
+        network.scheduler.run_for(2.0)
+        injector.partition_episode([["host-a"], ["host-b"]], duration=10.0)
+        network.scheduler.run_for(5.0)        # first ended; second active
+        a.send(b.guid, "still-split")
+        network.scheduler.run_for(10.0)       # second ended
+        a.send(b.guid, "healed")
+        network.scheduler.run_for(10.0)
+        assert [m.kind for m in inbox] == ["healed"]
+
+
+class TestInterleavedOutages:
+    def test_host_up_only_after_every_outage_ends(self, network, guids,
+                                                  injector):
+        inbox = []
+        a = FunctionProcess(guids.mint(), "host-a", network, lambda m: None)
+        b = FunctionProcess(guids.mint(), "host-b", network, inbox.append)
+        injector.host_outage("host-b", duration=5.0)
+        network.scheduler.run_for(2.0)
+        injector.host_outage("host-b", duration=10.0)  # ends at t=12
+        network.scheduler.run_for(5.0)        # first outage over at t=5
+        a.send(b.guid, "still-down")
+        network.scheduler.run_for(7.0)        # second over at t=12
+        a.send(b.guid, "back")
+        network.scheduler.run_for(10.0)
+        assert [m.kind for m in inbox] == ["back"]
+
+    def test_independent_hosts_unaffected(self, network, guids, injector):
+        inbox = []
+        a = FunctionProcess(guids.mint(), "host-a", network, inbox.append)
+        b = FunctionProcess(guids.mint(), "host-b", network, lambda m: None)
+        injector.host_outage("host-b", duration=5.0)
+        b.send(a.guid, "from-down-host")      # sender down: dropped
+        network.scheduler.run_for(10.0)
+        b.send(a.guid, "after")
+        network.scheduler.run_for(10.0)
+        assert [m.kind for m in inbox] == ["after"]

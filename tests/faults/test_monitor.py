@@ -98,3 +98,42 @@ class TestProbe:
         _, probe = app_and_probe
         with pytest.raises(ValueError):
             probe.gaps(0.0)
+
+
+class TestAttachAnchor:
+    """The first gap is measured from when the probe attached, not from the
+    first arrival — a slow-starting or completely silent stream is a gap."""
+
+    def test_silent_stream_is_one_long_gap(self, network, app_and_probe):
+        app, probe = app_and_probe
+        network.scheduler.run_until(30.0)
+        gaps = probe.gaps(expected_interval=2.0)
+        assert len(gaps) == 1
+        assert gaps[0].start == 0.0 and gaps[0].end == 30.0
+        assert probe.longest_gap(2.0) == pytest.approx(30.0)
+
+    def test_slow_start_counted_from_attach(self, network, app_and_probe):
+        app, probe = app_and_probe
+        for at in (10.0, 11.0, 12.0):
+            push_event(network, app, at)
+        network.scheduler.run_until_idle()
+        gaps = probe.gaps(expected_interval=2.0, until=12.0)
+        assert len(gaps) == 1
+        assert gaps[0].start == 0.0 and gaps[0].end == 10.0
+
+    def test_late_attach_anchor(self, network, guids):
+        # a probe attached at t=20 must not see the quiet [0, 20) epoch
+        network.scheduler.run_until(20.0)
+        app = ContextAwareApplication(Profile(guids.mint(), "late-app"),
+                                      "host-a", network)
+        probe = StreamProbe(app, "location")
+        assert probe.attached_at == 20.0
+        push_event(network, app, 21.0)
+        network.scheduler.run_until_idle()
+        assert probe.gaps(expected_interval=2.0, until=22.0) == []
+
+    def test_prompt_first_arrival_no_gap(self, network, app_and_probe):
+        app, probe = app_and_probe
+        push_event(network, app, 1.0)
+        network.scheduler.run_until_idle()
+        assert probe.gaps(expected_interval=2.0, until=2.0) == []
