@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run every smoke gate in sequence: perf, observability, chaos.
+"""Run every smoke gate in sequence: perf, observability, chaos, analysis.
 
 Each gate is an independent module with a ``main() -> int``; this runner
 executes them all (no fail-fast, so one broken gate does not hide another)
@@ -13,6 +13,7 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
+import smoke_analysis  # noqa: E402
 import smoke_chaos  # noqa: E402
 import smoke_obs  # noqa: E402
 import smoke_perf  # noqa: E402
@@ -21,6 +22,7 @@ GATES = (
     ("smoke-perf", smoke_perf.main),
     ("smoke-obs", smoke_obs.main),
     ("smoke-chaos", smoke_chaos.main),
+    ("smoke-analysis", smoke_analysis.main),
 )
 
 

@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Static-analysis smoke gate: the tree is invariant-clean and PROTOCOL.md
+is fresh.
+
+Runs the full ``repro.analysis`` suite (determinism, protocol-verb and
+metrics-catalog families) over ``src/`` and checks the committed
+``PROTOCOL.md`` against the regenerated verb table. Exits non-zero on any
+unsuppressed finding or drift, so CI can gate on it. Usage::
+
+    PYTHONPATH=src python scripts/smoke_analysis.py
+"""
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.__main__ import main as analysis_main  # noqa: E402
+
+
+def main() -> int:
+    src = REPO_ROOT / "src"
+    protocol = REPO_ROOT / "PROTOCOL.md"
+    print(f"smoke-analysis: linting {src} ...")
+    rc = analysis_main([str(src), "--check-protocol", str(protocol)])
+    print("smoke-analysis:", "OK" if rc == 0 else "FAIL")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

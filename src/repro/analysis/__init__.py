@@ -1,0 +1,25 @@
+"""Static analysis for the reproduction's simulation invariants.
+
+The simulation's claims are only as strong as three invariants nothing at
+runtime can check: all nondeterminism flows through seeded RNG and
+simulated time (:mod:`repro.analysis.determinism`), every protocol verb
+sent has a handler and every handler a sender
+(:mod:`repro.analysis.verbs`), and every metric series is declared in the
+catalog (:mod:`repro.analysis.catalog_lint`). ``python -m repro.analysis
+src/`` runs all three over the tree and is wired into the smoke gate.
+
+Everything is AST-level — the analysed code is never imported or executed.
+Findings can be suppressed per line with ``# sci: allow(<check>)``
+(:mod:`repro.analysis.pragmas`).
+"""
+
+from repro.analysis.findings import Finding, Severity, sort_findings
+from repro.analysis.runner import AnalysisReport, run_analysis
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Severity",
+    "run_analysis",
+    "sort_findings",
+]

@@ -1,0 +1,107 @@
+"""CLI for the simulation-invariant linter.
+
+Usage::
+
+    python -m repro.analysis src/                 # full gate, exit 1 on findings
+    python -m repro.analysis src/repro/net --select determinism --no-orphans
+    python -m repro.analysis src/ --format json
+    python -m repro.analysis src/ --write-protocol PROTOCOL.md
+    python -m repro.analysis src/ --check-protocol PROTOCOL.md
+
+Exit codes: 0 clean, 1 unsuppressed findings (or protocol drift), 2 usage
+error. ``--check-protocol`` regenerates the verb table in memory and fails
+if the committed file differs — the CI guard against protocol drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.runner import FAMILIES, AnalysisReport, run_analysis
+from repro.analysis.verbs import CHECK_PROTOCOL_DRIFT, render_protocol
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST lint for simulation invariants: determinism, "
+                    "protocol-verb closure, metrics catalog.")
+    parser.add_argument("paths", nargs="+",
+                        help="files or directories to analyse")
+    parser.add_argument("--select", action="append", choices=FAMILIES,
+                        help="run only this checker family (repeatable)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--no-orphans", action="store_true",
+                        help="skip catalog.orphaned (use for partial scans)")
+    parser.add_argument("--write-protocol", metavar="FILE",
+                        help="write the generated verb table to FILE")
+    parser.add_argument("--check-protocol", metavar="FILE",
+                        help="fail if FILE differs from the generated table")
+    return parser
+
+
+def _protocol_findings(report: AnalysisReport,
+                       check_path: str) -> List[Finding]:
+    path = pathlib.Path(check_path)
+    if report.verb_model is None:
+        return []  # --select without verbs: nothing to compare
+    expected = render_protocol(report.verb_model)
+    actual = path.read_text(encoding="utf-8") if path.exists() else ""
+    if actual == expected:
+        return []
+    reason = "missing" if not path.exists() else "stale"
+    return [Finding(
+        check=CHECK_PROTOCOL_DRIFT, severity=Severity.ERROR,
+        path=str(path), line=1,
+        message=f"{reason}: regenerate with --write-protocol {path}")]
+
+
+def _render_text(report: AnalysisReport) -> str:
+    lines = [finding.format() for finding in report.active]
+    summary = (f"{len(report.sources)} files, "
+               f"{len(report.active)} findings, "
+               f"{len(report.suppressed)} suppressed")
+    if report.suppressed:
+        allowed = sorted({f.check for f in report.suppressed})
+        summary += " (" + ", ".join(allowed) + ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _render_json(report: AnalysisReport) -> str:
+    return json.dumps({
+        "files": len(report.sources),
+        "findings": [f.to_dict() for f in report.active],
+        "suppressed": [f.to_dict() for f in report.suppressed],
+        "counts": report.counts_by_check(),
+    }, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    report = run_analysis(args.paths, select=args.select,
+                          check_orphans=not args.no_orphans)
+
+    if args.write_protocol:
+        if report.verb_model is None:
+            parser.error("--write-protocol needs the verbs family selected")
+        pathlib.Path(args.write_protocol).write_text(
+            render_protocol(report.verb_model), encoding="utf-8")
+    if args.check_protocol:
+        report.active.extend(_protocol_findings(report, args.check_protocol))
+
+    output = _render_json(report) if args.format == "json" \
+        else _render_text(report)
+    print(output)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""The ``# sci: allow(<check>)`` escape hatch.
+
+A pragma is a trailing comment on the *flagged line*::
+
+    for leaf in leaf_set:   # sci: allow(determinism.set-iteration)
+
+It suppresses findings whose check id equals one of the comma-separated
+entries, or whose family matches an entry exactly (``allow(determinism)``
+suppresses every ``determinism.*`` check on that line). Suppressed findings
+are still counted and reported in the run summary, so an allowlist cannot
+silently grow.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet
+
+#: matches ``# sci: allow(a, b.c)`` anywhere in a line (pragma must live in
+#: a comment; strings containing the pattern are a non-issue in practice
+#: because the allow set only ever *suppresses*, never creates, findings)
+PRAGMA_RE = re.compile(r"#\s*sci:\s*allow\(([^)]*)\)")
+
+
+def parse_allow(line: str) -> FrozenSet[str]:
+    """Check ids allowed by pragmas on one source line."""
+    allowed = set()
+    for match in PRAGMA_RE.finditer(line):
+        for entry in match.group(1).split(","):
+            entry = entry.strip()
+            if entry:
+                allowed.add(entry)
+    return frozenset(allowed)
+
+
+def collect_allows(text: str) -> Dict[int, FrozenSet[str]]:
+    """1-based line number -> allowed check ids, for lines carrying pragmas."""
+    allows: Dict[int, FrozenSet[str]] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if "sci:" not in line:
+            continue  # cheap pre-filter; the regex is the real test
+        allowed = parse_allow(line)
+        if allowed:
+            allows[number] = allowed
+    return allows
+
+
+def suppresses(allowed: FrozenSet[str], check: str) -> bool:
+    """Does an allow set cover ``check``? Exact id or family prefix."""
+    for entry in allowed:
+        if entry == check or check.startswith(entry + "."):
+            return True
+    return False

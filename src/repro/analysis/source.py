@@ -1,0 +1,117 @@
+"""Source loading for the analysis suite.
+
+Checkers never import the code they inspect — everything is AST-level, so
+the linter can run over a tree with unsatisfied dependencies, and inspecting
+a file can never execute it. A :class:`SourceFile` bundles the parse tree
+with the raw text (pragma scanning) and a best-effort dotted module name
+(allowlists are expressed against module paths like ``repro.net.sim``, not
+filesystem layouts).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.analysis.pragmas import collect_allows, suppresses
+
+
+@dataclass
+class SourceFile:
+    """One parsed python file under analysis."""
+
+    path: str                       # as discovered/given, posix separators
+    text: str
+    tree: ast.Module
+    module: str                     # dotted guess, e.g. "repro.net.sim"
+    allows: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_text(cls, text: str, path: str) -> "SourceFile":
+        """Build from in-memory source (the unit-test entry point)."""
+        return cls(
+            path=path,
+            text=text,
+            tree=ast.parse(text),
+            module=module_name(path),
+            allows=collect_allows(text),
+        )
+
+    @property
+    def docstring(self) -> str:
+        return ast.get_docstring(self.tree) or ""
+
+    def allowed_at(self, line: int, check: str) -> bool:
+        allowed = self.allows.get(line)
+        return bool(allowed) and suppresses(allowed, check)
+
+
+def module_name(path: str) -> str:
+    """Dotted module path for a file path.
+
+    Everything up to and including a ``src`` component is stripped, so
+    ``src/repro/net/sim.py`` and ``repro/net/sim.py`` both map to
+    ``repro.net.sim`` regardless of where the scan was rooted; a ``tests``
+    component is kept but anchors the module there
+    (``/abs/repo/tests/x.py`` -> ``tests.x``).
+    """
+    parts = list(pathlib.PurePosixPath(path.replace("\\", "/")).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    for index, part in enumerate(parts):
+        if part == "src":
+            parts = parts[index + 1:]
+            break
+        if part == "tests":
+            parts = parts[index:]
+            break
+    return ".".join(part for part in parts if part not in (".", "..", "/"))
+
+
+def iter_python_files(root: pathlib.Path) -> Iterable[pathlib.Path]:
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        yield path
+
+
+def load_sources(paths: Iterable[str]) -> Tuple[List[SourceFile], List[Tuple[str, int, str]]]:
+    """Load every ``.py`` under ``paths``.
+
+    Returns ``(sources, errors)`` where errors are ``(path, line, message)``
+    for files that failed to read or parse — the runner turns those into
+    findings rather than aborting the whole run.
+    """
+    sources: List[SourceFile] = []
+    errors: List[Tuple[str, int, str]] = []
+    for raw in paths:
+        root = pathlib.Path(raw)
+        if not root.exists():
+            errors.append((str(raw), 0, "path does not exist"))
+            continue
+        for path in iter_python_files(root):
+            name = path.as_posix()
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError as exc:
+                errors.append((name, 0, f"unreadable: {exc}"))
+                continue
+            try:
+                sources.append(SourceFile.from_text(text, name))
+            except SyntaxError as exc:
+                errors.append((name, exc.lineno or 0, f"syntax error: {exc.msg}"))
+    return sources, errors
+
+
+def find_source(sources: Iterable[SourceFile], module: str) -> Optional[SourceFile]:
+    for source in sources:
+        if source.module == module:
+            return source
+    return None

@@ -150,7 +150,8 @@ class ConfigurationManager:
             if existing is not None:
                 self.reuse_hits += 1
                 obs.metrics.counter(
-                    "config.reuse_hits", "queries served by an existing graph",
+                    "config.graph.reuse_hits",
+                    "queries served by an existing graph",
                     labels=("range",)).inc(range=self.range_name)
                 with obs.tracer.span_if_active(
                         "config.resolve", range=self.range_name,
@@ -174,7 +175,7 @@ class ConfigurationManager:
             self._attach_output(config, subscriber_hex, one_time, query_id)
             self.builds += 1
             obs.metrics.counter(
-                "config.builds", "configuration graphs instantiated",
+                "config.graph.builds", "configuration graphs instantiated",
                 labels=("range",)).inc(range=self.range_name)
             if span is not None:
                 span.set(config=config.config_id, nodes=len(plan.nodes))
@@ -386,7 +387,8 @@ class ConfigurationManager:
         config.repairs += 1
         self.repairs += 1
         self.network.obs.metrics.counter(
-            "config.repairs", "configurations re-composed after a failure",
+            "config.graph.repairs",
+            "configurations re-composed after a failure",
             labels=("range",)).inc(range=self.range_name)
         if span is not None:
             span.set(outcome="repaired", repair_number=config.repairs)

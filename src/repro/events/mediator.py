@@ -124,9 +124,11 @@ class EventMediator(Process):
         # hot-path counter handles, resolved once (registry lookup is not free)
         metrics = network.obs.metrics
         self._published_counter = metrics.counter(
-            "mediator.published", "events published per range", labels=("range",))
+            "mediator.events.published", "events published per range",
+            labels=("range",))
         self._deliveries_counter = metrics.counter(
-            "mediator.deliveries", "matched events forwarded to subscribers",
+            "mediator.events.delivered",
+            "matched events forwarded to subscribers",
             labels=("range",))
         self._index_hits_counter = metrics.counter(
             "mediator.index.hits",

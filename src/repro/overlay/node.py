@@ -272,7 +272,8 @@ class OverlayNode(Process):
             "overlay.node.load", "route steps handled per overlay node",
             labels=("node",))
         self._delivered_counter = metrics.counter(
-            "overlay.delivered", "routed payloads that reached their key owner")
+            "overlay.route.delivered",
+            "routed payloads that reached their key owner")
         self._hops_histogram = metrics.histogram(
             "overlay.route.hops", "overlay hops per delivered route")
         self._lookup_counter = metrics.counter(
@@ -396,15 +397,16 @@ class OverlayNode(Process):
             self.disable_failure_detector()
             return
         now = self.scheduler.now
-        leaves = self.table.leaves()
-        leaf_set = set(leaves)
-        for stale in [guid for guid in self._fd_last if guid not in leaf_set]:
+        # dedup in table order, not via set(): probe order decides wire order
+        targets = list(dict.fromkeys(self.table.leaves()))
+        live = frozenset(targets)
+        for stale in [guid for guid in self._fd_last if guid not in live]:
             del self._fd_last[stale]
-        for leaf in leaf_set:
+        for leaf in targets:
             self.send(leaf, "o-hb", {})
-        if leaf_set:
-            self._fd_heartbeats.inc(len(leaf_set))
-        for leaf in leaf_set:
+        if targets:
+            self._fd_heartbeats.inc(len(targets))
+        for leaf in targets:
             # first observation gets a full timeout of grace from now
             last = self._fd_last.setdefault(leaf, now)
             if now - last > self.fd_timeout:
@@ -540,9 +542,5 @@ class OverlayNode(Process):
                              message.payload["hops"])
         elif message.kind == "o-hb":
             self._fd_last[message.sender] = self.scheduler.now
-        elif message.kind == "table-add":
-            self.table.add(GUID.from_hex(message.payload["node"]))
-        elif message.kind == "table-remove":
-            self.table.remove(GUID.from_hex(message.payload["node"]))
         else:
             logger.debug("%s ignoring %s", self.name, message)

@@ -223,8 +223,6 @@ class ContextServer(Process):
             self._handle_query(message)
         elif message.kind == "cancel-query":
             self._handle_cancel(message)
-        elif message.kind == "admit-host":
-            self.admit_host(message.payload["host"])
         else:
             logger.debug("%s ignoring %s", self.name, message)
 
@@ -267,7 +265,7 @@ class ContextServer(Process):
         """
         status, error = self._route_query(query, subscriber_hex)
         self.network.obs.metrics.counter(
-            "cs.queries", "queries routed per range and outcome",
+            "cs.query.routed", "queries routed per range and outcome",
             labels=("range", "status")).inc(
                 range=self.definition.name, status=status)
         return status, error

@@ -7,7 +7,9 @@ Context Server manages both the CE's Profile and Advertisements."
 It is the store the Query Resolver's type matching and the Which clause's
 candidate building read from. Remote Context Servers can read it with
 ``profile-request`` messages (used during handoff and for the PROFILE query
-mode across ranges).
+mode across ranges), and applications push attribute changes with
+``profile-update`` messages — both are external API endpoints of this
+module.
 """
 
 from __future__ import annotations

@@ -1,0 +1,18 @@
+"""Catalog fixture: the declared table the catalog lint tests check against.
+
+Mirrors the shape of repro.obs.catalog. Never imported; AST only.
+"""
+
+CATALOG = {}
+
+
+def _declare(name, kind, help, labels=()):
+    CATALOG[name] = (kind, help, labels)
+
+
+_declare("app.good.counter", "counter", "well declared", labels=("range",))
+_declare("app.kindful.series", "histogram", "declared as a histogram")
+_declare("app.orphan.series", "counter", "declared but never registered")
+_declare("badname.short", "counter", "two segments break the convention")
+_declare("app.dup.series", "counter", "first declaration")
+_declare("app.dup.series", "counter", "second declaration: duplicate")

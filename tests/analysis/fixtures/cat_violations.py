@@ -1,0 +1,16 @@
+"""Catalog-lint fixture: metric call sites with deliberate mistakes.
+
+Checked against cat_catalog.py. Never imported; AST only.
+"""
+
+GOOD_NAME = "app.good.counter"
+
+
+def wire_up(metrics):
+    metrics.counter(GOOD_NAME, "well declared", labels=("range",))
+    metrics.counter("app.undeclared.series", "nobody declared me")  # line 11
+    metrics.counter("app.kindful.series", "histogram, not counter")  # line 12
+    metrics.counter("app.good.counter", "wrong labels",
+                    labels=("host",))                                # line 13
+    metrics.histogram("bad.two", "naming violation")                 # line 15
+    ordinary.counter("not.a.metric.call", "receiver is not a registry")

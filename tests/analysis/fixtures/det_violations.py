@@ -1,0 +1,41 @@
+"""Determinism fixture: seeded violations for the checker tests.
+
+Never imported — the analysis suite reads it as an AST. Line numbers are
+asserted exactly in tests/analysis/test_determinism.py; edit with care.
+"""
+
+import random
+import time
+from datetime import datetime
+
+from repro.net.message import Message
+
+SEEDED = random.Random(7)          # seeded: not a finding
+
+
+def stamp():
+    started = time.time()          # line 17: wall-clock
+    return datetime.now(), started  # line 18: wall-clock
+
+
+def jitter():
+    return random.random() * 2     # line 22: unseeded-random
+
+
+def fresh_rng():
+    return random.Random()         # line 26: unseeded-random (no seed)
+
+
+class Fanout:
+    def probe_all(self, peers):
+        targets = set(peers)
+        for peer in targets:       # line 32: set-iteration (sends below)
+            self.send(peer, "fx-ping", {})
+
+    def drain(self, table):
+        key, value = table.popitem()   # line 36: popitem on a message path
+        return Message(kind="fx-ping", payload=value)
+
+    def quiet_iteration(self, peers):
+        # not message-affine: set iteration here is fine
+        return sorted(guid.hex for guid in set(peers))

@@ -1,0 +1,13 @@
+"""Pragma fixture: every violation below carries a ``# sci: allow`` pragma.
+
+The runner must report all of them as suppressed, none as active.
+"""
+
+import time
+
+
+class Beacon:
+    def tick(self, peers):
+        started = time.time()  # sci: allow(determinism.wall-clock)
+        for peer in set(peers):  # sci: allow(determinism)
+            self.send(peer, "px-tick", {"at": started})

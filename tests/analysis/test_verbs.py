@@ -1,0 +1,59 @@
+"""The verb family closes the protocol: no black-hole sends, no dead code."""
+
+import pathlib
+
+from repro.analysis.findings import sort_findings
+from repro.analysis.source import load_sources
+from repro.analysis.verbs import (VerbChecker, build_model, protocol_drift,
+                                  render_protocol)
+
+FIXTURE = pathlib.Path(__file__).parent / "fixtures" / "verb_violations.py"
+
+
+def _sources():
+    sources, errors = load_sources([str(FIXTURE)])
+    assert errors == []
+    return sources
+
+
+def test_fixture_findings_exact():
+    findings = sort_findings(VerbChecker().check(_sources()))
+    assert [(f.check, f.line) for f in findings] == [
+        ("verbs.unhandled-send", 11),  # vx-orphan
+        ("verbs.dead-handler", 19),    # vx-dead (kind == branch)
+        ("verbs.dead-handler", 27),    # vx-dict-dead (handler dict key)
+        ("verbs.dead-handler", 44),    # vx-dyn-dead (_handle_ method)
+    ]
+
+
+def test_model_classifies_roles():
+    model = build_model(_sources())
+    assert model.role("vx-ack") == "reply"         # reply(): no handler needed
+    assert model.role("vx-good") == "request"
+    assert model.role("vx-declared") == "external api"
+    assert "vx-declared" in model.declared         # from the module docstring
+    # all three handler extraction mechanisms fired
+    assert {"vx-good", "vx-declared", "vx-dead", "vx-dict-dead",
+            "vx-dyn-dead"} <= set(model.handlers)
+    # plain methods in dynamic-dispatch classes are not handlers
+    assert "not-a-handler" not in model.handlers
+
+
+def test_reply_and_declared_verbs_are_not_findings():
+    findings = VerbChecker().check(_sources())
+    verbs_flagged = {f.message.split('"')[1] for f in findings}
+    assert "vx-ack" not in verbs_flagged
+    assert "vx-declared" not in verbs_flagged
+    assert "vx-good" not in verbs_flagged
+
+
+def test_protocol_render_and_drift():
+    model = build_model(_sources())
+    rendered = render_protocol(model)
+    # docstring words that are not wire verbs never enter the table
+    assert "| `vx-good` |" in rendered
+    assert "handler" not in [line.split("`")[1] for line in
+                             rendered.splitlines() if line.startswith("| `")]
+    assert not protocol_drift(model, rendered)
+    assert protocol_drift(model, rendered + "edited\n")
+    assert protocol_drift(model, "")

@@ -144,7 +144,7 @@ class TestRepairTracing:
         tracer = sci.network.obs.tracer
         repaired = [span for span in tracer.find_spans("config.repair")
                     if span.attributes.get("outcome") == "repaired"]
-        counter = sci.network.obs.metrics.get("config.repairs")
+        counter = sci.network.obs.metrics.get("config.graph.repairs")
         assert counter is not None
         assert counter.value(range="livingstone") == len(repaired) > 0
 

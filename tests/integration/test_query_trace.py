@@ -104,6 +104,6 @@ class TestConnectedQueryTrace:
                  .where("room:L10.03").build())
         app.submit_query(query)
         sci.run(15)
-        counter = sci.network.obs.metrics.get("cs.queries")
+        counter = sci.network.obs.metrics.get("cs.query.routed")
         assert counter.value(range="lobby", status="forwarded") == 1
         assert counter.value(range="level10", status="executed") == 1
