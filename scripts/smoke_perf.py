@@ -16,7 +16,11 @@ structural properties a refactor could silently regress:
 * the overlay disseminates announcements over the distribution tree
   (exactly N-1 ``o-bcast`` messages per full announce, zero duplicates),
   the flood ablation still suppresses the duplicate storm it creates, and
-  the routing tables' memoised known-node views serve reads from cache.
+  the routing tables' memoised known-node views serve reads from cache;
+* the partitioned substrate still produces the bit-identical canonical
+  event log at 2 partitions (serial and threaded) that ``tests/parallel``
+  proves at full scale, and sharded route throughput has not fallen off a
+  cliff relative to the classic scheduler.
 
 Exits non-zero on any failure, so CI can gate on it. Usage::
 
@@ -49,6 +53,12 @@ MAX_SCAN_FRACTION = 0.25
 #: workload's filters are 99% exact-match conjunctions
 MAX_RESIDUAL_SUBSCRIPTIONS = 0.05
 OVERLAY_NODES = 64
+#: catastrophic-regression guard, not a speedup gate (the benchmark's is
+#: stricter): the best sharded serial config may not fall below this
+#: fraction of the classic scheduler's throughput at smoke scale
+MIN_SHARDED_THROUGHPUT_RATIO = 0.6
+SUBSTRATE_NODES = 400
+SUBSTRATE_ROUTES = 200
 #: the dedup flood must cost at least this many times the tree's N-1
 #: messages at smoke scale (it sends per known node, duplicates and all)
 MIN_FLOOD_BLOWUP = 10
@@ -170,6 +180,45 @@ def main() -> int:
     ok &= check(builds > 0 and hits >= MIN_CACHE_HIT_RATIO * builds,
                 f"known-node views served from the memo "
                 f"({hits} hits vs {builds} builds)")
+
+    print("smoke-perf: partitioned substrate equivalence...")
+    from tests.parallel.scenarios import run_scenario  # noqa: E402
+    reference = run_scenario(partitions=1)
+    sharded = run_scenario(partitions=2)
+    threaded = run_scenario(partitions=2, parallel=True)
+    ok &= check(sharded["digest"] == reference["digest"]
+                and sharded["per_host"] == reference["per_host"],
+                f"2-partition serial log bit-identical to single-queue "
+                f"({reference['entries']} entries, "
+                f"digest {reference['digest'][:12]}…)")
+    ok &= check(threaded["digest"] == reference["digest"],
+                "2-partition threaded log bit-identical to single-queue")
+    ok &= check(sharded["delivered"] == reference["delivered"]
+                and sharded["by_kind"] == reference["by_kind"],
+                f"merged lane stats equal the single-queue totals "
+                f"({reference['delivered']} delivered)")
+
+    print(f"smoke-perf: sharded route throughput at {SUBSTRATE_NODES} "
+          "nodes...")
+    from benchmarks.bench_perf_parallel import measure_route  # noqa: E402
+    classic_run = measure_route(None, False, n=SUBSTRATE_NODES,
+                                routes=SUBSTRATE_ROUTES)
+    sharded_runs = {p: measure_route(p, False, n=SUBSTRATE_NODES,
+                                     routes=SUBSTRATE_ROUTES)
+                    for p in (2, 4)}
+    ok &= check(all(run["steps"] == classic_run["steps"]
+                    for run in sharded_runs.values()),
+                f"every configuration routed the same "
+                f"{classic_run['steps']} steps")
+    best_partitions, best = max(sharded_runs.items(),
+                                key=lambda item: item[1]["steps_per_s"])
+    ratio = best["steps_per_s"] / classic_run["steps_per_s"]
+    ok &= check(ratio >= MIN_SHARDED_THROUGHPUT_RATIO,
+                f"sharded throughput ratio {ratio:.2f} at "
+                f"{best_partitions} partitions "
+                f"(>= {MIN_SHARDED_THROUGHPUT_RATIO}; "
+                f"{best['steps_per_s']:.0f} vs "
+                f"{classic_run['steps_per_s']:.0f} steps/s)")
 
     if not ok:
         print("smoke-perf: FAIL")

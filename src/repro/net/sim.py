@@ -24,6 +24,26 @@ def callsite(fn: Callable) -> str:
     return name or repr(fn)
 
 
+def timer_owner(fn: Callable) -> Optional[str]:
+    """The host a timer callback is attributable to, or None.
+
+    Resolved through the callback's bound instance: a ``host_id`` attribute
+    directly (processes, components), or one level down via ``.owner`` (the
+    :class:`repro.net.rpc.RequestManager` pattern). Only owner-resolvable
+    timers appear in the canonical event log — anonymous closures and
+    infrastructure callbacks are not per-host observables.
+    """
+    owner = getattr(fn, "__self__", None)
+    if owner is None:
+        return None
+    host = getattr(owner, "host_id", None)
+    if isinstance(host, str):
+        return host
+    inner = getattr(owner, "owner", None)
+    host = getattr(inner, "host_id", None)
+    return host if isinstance(host, str) else None
+
+
 class Timer:
     """Handle for a scheduled callback; supports cancellation.
 
@@ -33,10 +53,16 @@ class Timer:
     scheduler's pending-event counter exact without scanning the heap.
 
     ``site`` and ``created_at`` feed the optional scheduler profiler: which
-    code scheduled this event, and how long it dwelt in the heap.
+    code scheduled this event, and how long it dwelt in the heap. ``owner``
+    is the host the callback belongs to (see :func:`timer_owner`); it is
+    resolved only when an event log is attached, and stays None otherwise.
+
+    ``_scheduler`` is duck-typed: any object with a ``_live`` counter works,
+    which is how the partitioned substrate's lanes reuse this class.
     """
 
-    __slots__ = ("when", "fn", "cancelled", "site", "created_at", "_scheduler")
+    __slots__ = ("when", "fn", "cancelled", "site", "created_at", "owner",
+                 "_scheduler")
 
     def __init__(self, when: float, fn: Callable[[], None],
                  site: str = "", created_at: float = 0.0,
@@ -46,6 +72,7 @@ class Timer:
         self.cancelled = False
         self.site = site
         self.created_at = created_at
+        self.owner: Optional[str] = None
         self._scheduler = scheduler
 
     def cancel(self) -> None:
@@ -81,6 +108,10 @@ class Scheduler:
         #: optional :class:`repro.obs.profiling.SchedulerProfiler` (duck-typed
         #: ``record(site, lag, wall)``); None keeps the hot loop hook-free
         self.profiler = None
+        #: optional :class:`repro.net.eventlog.EventLog`; when set, timer
+        #: firings with a resolvable owner host are recorded as canonical
+        #: observables (the transport records deliveries itself)
+        self.event_log = None
 
     # -- scheduling ---------------------------------------------------------
 
@@ -101,6 +132,8 @@ class Scheduler:
         # attribute the event to the *original* callable, not the closure
         timer = Timer(when, bound, site=callsite(fn), created_at=self.now,
                       scheduler=self)
+        if self.event_log is not None:
+            timer.owner = timer_owner(fn)
         heapq.heappush(self._heap, (when, next(self._sequence), timer))
         self._live += 1
         return timer
@@ -154,6 +187,8 @@ class Scheduler:
             self._live -= 1
             timer._scheduler = None
             self.now = when
+            if self.event_log is not None and timer.owner is not None:
+                self.event_log.record_timer(timer.owner, when, timer.site)
             if self.profiler is not None:
                 started = perf_counter()
                 timer.fn()

@@ -17,15 +17,18 @@ from __future__ import annotations
 import logging
 import math
 import random
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.errors import TransportError
 from repro.core.ids import GUID, GuidFactory
+from repro.net.eventlog import EventLog
 from repro.net.message import BROADCAST, Message
+from repro.net.partition import PartitionedScheduler
 from repro.net.sim import Scheduler
-from repro.net.stats import MessageStats
+from repro.net.stats import LaneStatsBuffer, MessageStats
 from repro.obs.hub import Observability
 
 logger = logging.getLogger(__name__)
@@ -54,6 +57,15 @@ class LatencyModel:
     def latency(self, source: Host, destination: Host, rng: random.Random) -> float:
         raise NotImplementedError
 
+    def min_latency(self) -> float:
+        """Lower bound on *cross-host* latency — the partitioned
+        substrate's conservative lookahead. Same-host deliveries are
+        exempt (a host never crosses partitions to reach itself), so a
+        model may return more than its same-host floor. The default 0.0
+        makes ``partitions > 1`` an explicit error until a model opts in.
+        """
+        return 0.0
+
 
 class FixedLatency(LatencyModel):
     """Constant latency; the ablation baseline (latency model "off")."""
@@ -64,6 +76,9 @@ class FixedLatency(LatencyModel):
         self.value = value
 
     def latency(self, source: Host, destination: Host, rng: random.Random) -> float:
+        return self.value
+
+    def min_latency(self) -> float:
         return self.value
 
 
@@ -79,6 +94,9 @@ class UniformLatency(LatencyModel):
     def latency(self, source: Host, destination: Host, rng: random.Random) -> float:
         return rng.uniform(self.low, self.high)
 
+    def min_latency(self) -> float:
+        return self.low
+
 
 class DistanceLatency(LatencyModel):
     """Base latency plus a per-metre term from host positions."""
@@ -93,6 +111,9 @@ class DistanceLatency(LatencyModel):
         dx = source.position[0] - destination.position[0]
         dy = source.position[1] - destination.position[1]
         return self.base + self.per_unit * math.hypot(dx, dy)
+
+    def min_latency(self) -> float:
+        return self.base
 
 
 class CampusLatency(LatencyModel):
@@ -112,6 +133,11 @@ class CampusLatency(LatencyModel):
         if source.host_id == destination.host_id:
             return self.local
         return self.remote + rng.uniform(0.0, self.jitter)
+
+    def min_latency(self) -> float:
+        # cross-host traffic always takes the remote branch; the cheaper
+        # `local` floor applies only same-host, which never crosses lanes
+        return self.remote
 
 
 # -- processes ---------------------------------------------------------------
@@ -268,17 +294,56 @@ class Network:
         latency_model: Optional[LatencyModel] = None,
         drop_rate: float = 0.0,
         seed: int = 0,
+        partitions: Optional[int] = None,
+        parallel: bool = False,
+        host_rng_streams: Optional[bool] = None,
+        event_log: Optional[EventLog] = None,
     ):
         if not 0.0 <= drop_rate < 1.0:
             raise ValueError(f"drop_rate out of range: {drop_rate}")
-        self.scheduler = scheduler or Scheduler()
         self.latency_model = latency_model or CampusLatency()
+        if partitions is not None:
+            # NOTE: substrate partitions (execution shards) are unrelated to
+            # set_partitions() below, which models network splits (failures)
+            if scheduler is not None:
+                raise TransportError(
+                    "pass either scheduler= or partitions=, not both")
+            scheduler = PartitionedScheduler(
+                partitions=partitions,
+                lookahead=self.latency_model.min_latency(),
+                parallel=parallel)
+        self.scheduler = scheduler or Scheduler()
+        psched = self.scheduler if isinstance(self.scheduler,
+                                              PartitionedScheduler) else None
+        self._psched = psched
         self.drop_rate = drop_rate
+        self.seed = seed
         self.rng = random.Random(seed)
+        if host_rng_streams is None:
+            # partitioned runs need latency/drop draws decoupled from global
+            # interleaving; the classic single-queue default stays untouched
+            host_rng_streams = psched is not None
+        self._host_rngs: Optional[Dict[str, random.Random]] = (
+            {} if host_rng_streams else None)
         self.guids = GuidFactory(seed=seed ^ 0x5C1)
         #: the deployment-wide observability bundle (metrics/tracer/profiler)
         self.obs = Observability(self.scheduler)
         self.stats = MessageStats(registry=self.obs.metrics)
+        #: optional canonical observable log (see repro.net.eventlog)
+        self.event_log = event_log
+        if event_log is not None:
+            self.scheduler.event_log = event_log
+            if psched is not None:
+                event_log.bind(psched)
+        if psched is not None:
+            if psched.bound_network is not None:
+                raise TransportError(
+                    "a PartitionedScheduler can drive only one Network "
+                    "(its lanes stage that network's stats)")
+            psched.bound_network = self
+            for lane in psched.contexts():
+                lane.stats = LaneStatsBuffer()
+            psched.on_quiesce(self._flush_lane_stats)
         self._hosts: Dict[str, Host] = {}
         self._processes: Dict[GUID, Process] = {}
         #: host id -> processes living there (insertion-ordered), so the
@@ -294,6 +359,14 @@ class Network:
             raise TransportError(f"duplicate host: {host_id}")
         host = Host(host_id, position)
         self._hosts[host_id] = host
+        if self._psched is not None:
+            self._psched.register_host(host_id)
+        if self._host_rngs is not None:
+            # each source host draws latency/drop from its own stream, so
+            # the draw sequence depends only on that host's send history —
+            # partition-invariant by the substrate's ordering argument
+            self._host_rngs[host_id] = random.Random(
+                (self.seed << 32) ^ zlib.crc32(host_id.encode("utf-8")))
         return host
 
     def host(self, host_id: str) -> Host:
@@ -352,6 +425,26 @@ class Network:
 
     # -- delivery ------------------------------------------------------------
 
+    def _stat(self):
+        """The stats sink for the current execution context.
+
+        On a partitioned scheduler, lane callbacks record into their lane's
+        staging buffer (cheap, race-free); everything else — the classic
+        scheduler, external/setup code — records into the registry-backed
+        stats directly. Buffers merge at quiesce in canonical lane order.
+        """
+        psched = self._psched
+        if psched is None:
+            return self.stats
+        lane = psched.current_context
+        return self.stats if lane is None else lane.stats
+
+    def _flush_lane_stats(self) -> None:
+        for lane in self._psched.contexts():
+            buffer = lane.stats
+            if buffer is not None and not buffer.empty:
+                self.stats.merge_buffer(buffer)
+
     def send(self, message: Message) -> None:
         """Queue a message for delivery (or loss) per the failure model."""
         message.sent_at = self.scheduler.now
@@ -359,11 +452,12 @@ class Network:
             # Stamp the sender's ambient span so downstream handling joins
             # the same trace (see repro.obs.tracing).
             message.trace = self.obs.tracer.current_context()
-        self.stats.record_send(message.kind)
+        stats = self._stat()
+        stats.record_send(message.kind)
         sender = self._processes.get(message.sender)
         if sender is None:
             # A detached (crashed/stopped) process cannot transmit.
-            self.stats.record_drop()
+            stats.record_drop()
             logger.debug("dropping send from detached process: %s", message)
             return
         source_host = self._hosts.get(sender.host_id)
@@ -374,7 +468,7 @@ class Network:
 
         recipient = self._processes.get(message.recipient)
         if recipient is None:
-            self.stats.record_undeliverable()
+            stats.record_undeliverable()
             logger.debug("undeliverable %s", message)
             return
         self._dispatch(message, source_host, recipient)
@@ -387,7 +481,7 @@ class Network:
         announcement, not a network-wide flood.
         """
         if source_host is None:
-            self.stats.record_undeliverable()
+            self._stat().record_undeliverable()
             return
         for process in self.processes_on(source_host.host_id):
             if process.guid == message.sender:
@@ -406,30 +500,51 @@ class Network:
     def _dispatch(self, message: Message, source_host: Optional[Host], recipient: Process) -> None:
         destination_host = self._hosts[recipient.host_id]
         if source_host is None:
-            self.stats.record_drop()
+            self._stat().record_drop()
             return
         if not source_host.up or not destination_host.up:
-            self.stats.record_drop()
+            self._stat().record_drop()
             return
         if self._partition_of.get(source_host.host_id, 0) != self._partition_of.get(
             destination_host.host_id, 0
         ):
-            self.stats.record_drop()
+            self._stat().record_drop()
             return
-        latency = self.latency_model.latency(source_host, destination_host, self.rng)
-        if self.drop_rate and self.rng.random() < self.drop_rate:
-            self.stats.record_drop()
+        rng = (self.rng if self._host_rngs is None
+               else self._host_rngs[source_host.host_id])
+        latency = self.latency_model.latency(source_host, destination_host, rng)
+        if self.drop_rate and rng.random() < self.drop_rate:
+            self._stat().record_drop()
             return
-        self.scheduler.schedule(latency, self._deliver, message, recipient.guid)
+        if self._psched is None:
+            self.scheduler.schedule(latency, self._deliver, message,
+                                    recipient.guid)
+        else:
+            self._psched.schedule_delivery(
+                source_host.host_id, recipient.host_id, latency,
+                self._deliver, message, recipient.guid)
 
     def _deliver(self, message: Message, recipient_guid: GUID) -> None:
         recipient = self._processes.get(recipient_guid)
         if recipient is None or not self._hosts[recipient.host_id].up:
-            self.stats.record_undeliverable()
+            self._stat().record_undeliverable()
             return
-        self.stats.record_delivery(recipient.host_id, self.scheduler.now - message.sent_at)
-        with self.obs.tracer.activate(message.trace):
+        now = self.scheduler.now
+        self._stat().record_delivery(recipient.host_id, now - message.sent_at)
+        log = self.event_log
+        if log is not None:
+            log.record_delivery(recipient.host_id, now, message.kind,
+                                str(message.sender), message.payload)
+        trace = message.trace
+        if trace is None:
             recipient.deliver(message)
+            return
+        tracer = self.obs.tracer
+        frame = tracer.push_remote(trace)
+        try:
+            recipient.deliver(message)
+        finally:
+            tracer.pop_remote(frame)
 
     # -- convenience ---------------------------------------------------------
 

@@ -32,6 +32,11 @@ class Observability:
         # (two Networks may share one Scheduler in mixed benchmarks).
         if profile_scheduler and getattr(scheduler, "profiler", None) is None:
             scheduler.profiler = self.profiler
+        # A partitioned scheduler supplies per-lane ambient stacks so that
+        # parallel lanes cannot interleave trace context (duck-typed).
+        ambient = getattr(scheduler, "ambient_stack", None)
+        if ambient is not None:
+            self.tracer.stack_provider = ambient
 
     def __repr__(self) -> str:
         return (f"Observability(metrics={len(self.metrics)}, "

@@ -112,6 +112,31 @@ class Reservoir:
             "p99": _nearest_rank(ordered, 0.99),
         }
 
+    def merge_summary(self, count: int, total: float, minimum: float,
+                      maximum: float, samples: Sequence[float]) -> None:
+        """Fold a pre-aggregated batch into this reservoir.
+
+        The batch's retained ``samples`` flow through algorithm R; any
+        unretained remainder (the batch saw more observations than it kept)
+        adjusts the exact aggregates only, slightly underweighting the
+        batch in the sample set but keeping count/sum/min/max exact. Used
+        by the transport's per-partition staging buffers.
+        """
+        if count <= 0:
+            return
+        sampled_sum = 0.0
+        for value in samples:
+            sampled_sum += value
+            self.observe(value)
+        extra = count - len(samples)
+        if extra > 0:
+            self.count += extra
+            self.total += total - sampled_sum
+        if minimum < self.min:
+            self.min = minimum
+        if maximum > self.max:
+            self.max = maximum
+
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0
@@ -256,6 +281,13 @@ class Histogram(_Metric):
             seed = zlib.crc32(("/".join((self.name,) + key)).encode())
             reservoir = self._series[key] = Reservoir(self.reservoir_size, seed)
         return reservoir
+
+    def merge_summary(self, count: int, total: float, minimum: float,
+                      maximum: float, samples: Sequence[float],
+                      **labels: object) -> None:
+        """Bulk-fold a pre-aggregated batch (see Reservoir.merge_summary)."""
+        self.series(**labels).merge_summary(count, total, minimum, maximum,
+                                            samples)
 
     def items(self) -> Dict[Tuple[str, ...], Reservoir]:
         return dict(self._series)

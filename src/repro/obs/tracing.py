@@ -178,10 +178,20 @@ class Tracer:
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
         self._stack: List[_Frame] = []
+        #: optional callable returning the ambient frame stack for the
+        #: current execution context. The partitioned substrate sets this
+        #: (to its per-lane stacks) so parallel lanes cannot interleave
+        #: ambient context; None keeps the single built-in stack.
+        self.stack_provider: Optional[Callable[[], List[_Frame]]] = None
         #: trace id -> spans, in insertion order (dicts preserve it)
         self._traces: Dict[str, List[Span]] = {}
         self.dropped_spans = 0
         self.evicted_traces = 0
+
+    def _ambient(self) -> List[_Frame]:
+        """The context stack for the current execution context."""
+        provider = self.stack_provider
+        return self._stack if provider is None else provider()
 
     # -- span lifecycle -------------------------------------------------------
 
@@ -193,7 +203,8 @@ class Tracer:
         """
         if not self.enabled:
             return None
-        parent = self._stack[-1] if self._stack else None
+        stack = self._ambient()
+        parent = stack[-1] if stack else None
         if parent is None:
             trace_id = f"t{next(self._trace_ids):06d}"
             parent_id = None
@@ -203,7 +214,7 @@ class Tracer:
         span = Span(trace_id, f"s{next(self._span_ids):06d}", parent_id,
                     name, self.clock(), attributes)
         self._record(span)
-        self._stack.append(_Frame(trace_id, span.span_id, span))
+        stack.append(_Frame(trace_id, span.span_id, span))
         return span
 
     def end(self, span: Optional[Span]) -> None:
@@ -228,9 +239,10 @@ class Tracer:
     def _pop(self, span: Optional[Span]) -> None:
         if span is None:
             return
-        for index in range(len(self._stack) - 1, -1, -1):
-            if self._stack[index].span is span:
-                del self._stack[index]
+        stack = self._ambient()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index].span is span:
+                del stack[index]
                 return
 
     @contextmanager
@@ -262,31 +274,51 @@ class Tracer:
 
     @property
     def active(self) -> bool:
-        return bool(self._stack)
+        return bool(self._ambient())
 
     def current_context(self) -> Optional[Dict[str, str]]:
         """The context to stamp onto an outgoing message (None = untraced)."""
-        if not self.enabled or not self._stack:
+        if not self.enabled:
             return None
-        top = self._stack[-1]
+        stack = self._ambient()
+        if not stack:
+            return None
+        top = stack[-1]
         return {TRACE_KEY: top.trace_id, SPAN_KEY: top.span_id}
+
+    def push_remote(self, context: Optional[Dict[str, str]]) -> Optional[_Frame]:
+        """Adopt an inbound message's context; returns the frame to pass to
+        :meth:`pop_remote` (None when nothing was pushed).
+
+        This is :meth:`activate` without the contextmanager machinery — the
+        transport's delivery path calls it once per message, so the
+        generator overhead is worth skipping.
+        """
+        if (not self.enabled or not context
+                or TRACE_KEY not in context or SPAN_KEY not in context):
+            return None
+        frame = _Frame(str(context[TRACE_KEY]), str(context[SPAN_KEY]), None)
+        self._ambient().append(frame)
+        return frame
+
+    def pop_remote(self, frame: Optional[_Frame]) -> None:
+        """Undo :meth:`push_remote` (tolerates None and unbalanced stacks)."""
+        if frame is None:
+            return
+        stack = self._ambient()
+        if stack and stack[-1] is frame:
+            stack.pop()
+        elif frame in stack:
+            stack.remove(frame)
 
     @contextmanager
     def activate(self, context: Optional[Dict[str, str]]) -> Iterator[None]:
         """Adopt a context carried by an inbound message (None = no-op)."""
-        if (not self.enabled or not context
-                or TRACE_KEY not in context or SPAN_KEY not in context):
-            yield None
-            return
-        frame = _Frame(str(context[TRACE_KEY]), str(context[SPAN_KEY]), None)
-        self._stack.append(frame)
+        frame = self.push_remote(context)
         try:
             yield None
         finally:
-            if self._stack and self._stack[-1] is frame:
-                self._stack.pop()
-            elif frame in self._stack:
-                self._stack.remove(frame)
+            self.pop_remote(frame)
 
     # -- storage --------------------------------------------------------------
 
@@ -321,8 +353,8 @@ class Tracer:
 
     def clear(self) -> None:
         self._traces.clear()
-        self._stack.clear()
+        self._ambient().clear()
 
     def __repr__(self) -> str:
         return (f"Tracer(traces={len(self._traces)}, "
-                f"active_depth={len(self._stack)})")
+                f"active_depth={len(self._ambient())})")

@@ -1,0 +1,185 @@
+"""Fixed-seed mixed workload for the partitioned-substrate equivalence suite.
+
+One scenario exercising every mechanism whose ordering the substrate must
+keep invariant: incremental overlay joins (a time-zero message burst),
+a pub/sub publish storm fanning out through an Event Mediator, overlay
+routing probes, host-lane timers scheduled from inside delivery callbacks,
+and a chaos episode (loss + host outage + network split) driven through
+control-lane barriers. Latencies are jittered (:class:`CampusLatency`), so
+same-time cross-origin collisions — the one case where the classic global
+heap and the canonical ``(when, origin_rank, origin_seq)`` order may
+legitimately differ — have measure zero, and the classic scheduler is
+comparable too, not just partition counts against each other.
+
+Two global counters would otherwise leak process history into payload
+digests when several configurations run in one pytest process:
+``ContextEvent.seq`` (events are pre-minted at setup with explicit ``seq``)
+and ``Subscription.sub_id`` (reset per run — the ids ride inside ``event``
+delivery payloads).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional
+
+from repro.core.ids import GUID
+from repro.core.types import TypeSpec
+from repro.events import subscription as subscription_module
+from repro.events.event import ContextEvent
+from repro.events.filters import MatchAll, SubjectFilter, TypeFilter
+from repro.events.mediator import EventMediator
+from repro.faults.injector import FaultInjector
+from repro.net.eventlog import EventLog
+from repro.net.transport import CampusLatency, Network, Process
+from repro.overlay.scinet import SCINet
+
+HOSTS = tuple(f"h{i}" for i in range(8))
+NODES = 18
+EVENTS = 24
+ROUTES = 12
+
+
+class StormPublisher(Process):
+    """Feeds pre-minted events to the mediator; counts acks and echo probes."""
+
+    def __init__(self, guid, host_id, network, mediator_guid):
+        super().__init__(guid, host_id, network, name="storm-publisher")
+        self.mediator_guid = mediator_guid
+        self.acks = 0
+        self.probes = 0
+
+    def publish(self, wire_event: dict) -> None:
+        self.send(self.mediator_guid, "publish", {"event": wire_event})
+
+    def on_message(self, message) -> None:
+        if message.kind == "publish-ack":
+            self.acks += 1
+        elif message.kind == "probe":
+            self.probes += 1
+
+
+class StormSubscriber(Process):
+    """Counts deliveries; every second one arms a lane timer that echoes a
+    probe back — covering timers scheduled *from inside* host callbacks and
+    the cross-partition sends those timers make."""
+
+    def __init__(self, guid, host_id, network, publisher_guid):
+        super().__init__(guid, host_id, network, name=f"sub@{host_id}")
+        self.publisher_guid = publisher_guid
+        self.received = 0
+        self.echoes = 0
+
+    def on_message(self, message) -> None:
+        if message.kind != "event":
+            return
+        self.received += 1
+        if self.received % 2 == 0:
+            self.network.scheduler.schedule(0.75, self._echo)
+
+    def _echo(self) -> None:
+        self.echoes += 1
+        self.send(self.publisher_guid, "probe", {"n": self.echoes})
+
+
+def _mint_events(guids) -> List[dict]:
+    """Pre-mint the storm's events at setup, with explicit ``seq`` values so
+    the global event counter's process history cannot reach the wire."""
+    events = []
+    for i in range(EVENTS):
+        spec = TypeSpec(
+            type_name="temperature" if i % 2 else "presence",
+            representation="float" if i % 2 else "bool",
+            subject=f"room-{i % 5}",
+        )
+        events.append(ContextEvent(
+            spec=spec, value=i * 10, source=guids.mint(),
+            timestamp=float(i), seq=1000 + i,
+        ).to_wire())
+    return events
+
+
+def run_scenario(partitions: Optional[int] = None, parallel: bool = False,
+                 seed: int = 11) -> Dict[str, object]:
+    """Run the mixed scenario on one substrate configuration.
+
+    ``partitions=None`` uses the classic single-heap Scheduler; an integer
+    builds a :class:`~repro.net.partition.PartitionedScheduler` (optionally
+    with the thread executor). ``host_rng_streams`` is forced on for every
+    configuration so the classic run draws latency/drop from the same
+    per-host streams the partitioned runs use.
+    """
+    subscription_module._subscription_ids = itertools.count(1)
+    log = EventLog()
+    latency = CampusLatency(local=0.05, remote=1.0, jitter=0.5)
+    if partitions is None:
+        net = Network(latency_model=latency, seed=seed,
+                      host_rng_streams=True, event_log=log)
+    else:
+        net = Network(latency_model=latency, seed=seed, partitions=partitions,
+                      parallel=parallel, event_log=log)
+    for host in HOSTS:
+        net.add_host(host)
+
+    # -- overlay: a time-zero burst of incremental join traffic
+    sci = SCINet(net, incremental=True)
+    nodes = [sci.create_node(HOSTS[i % len(HOSTS)], range_name=f"r{i}")
+             for i in range(NODES)]
+
+    # -- pub/sub: mediator + publisher + subscribers with mixed filters
+    mediator = EventMediator(net.guids.mint(), "h0", net, range_name="storm")
+    publisher = StormPublisher(net.guids.mint(), "h1", net, mediator.guid)
+    subscribers = []
+    filters = [TypeFilter("temperature"), TypeFilter("presence"),
+               SubjectFilter("room-1"), SubjectFilter("room-3"),
+               TypeFilter("temperature"), MatchAll()]
+    for host, event_filter in zip(("h0", "h2", "h3", "h4", "h5", "h7"),
+                                  filters):
+        sub = StormSubscriber(net.guids.mint(), host, net, publisher.guid)
+        mediator.add_subscription(sub.guid, event_filter, owner="scenario")
+        subscribers.append(sub)
+
+    # -- the storm: staggered (unique) external times, events pre-minted
+    wires = _mint_events(net.guids)
+    for i, wire in enumerate(wires):
+        net.scheduler.schedule_at(50.0 + 1.3 * i, publisher.publish, wire)
+
+    # -- routing probes across the built overlay
+    rng = random.Random(seed ^ 0xF00)
+    for j in range(ROUTES):
+        key = GUID(rng.getrandbits(128))
+        origin = nodes[rng.randrange(len(nodes))]
+        net.scheduler.schedule_at(58.0 + 2.1 * j, origin.route, key, "probe",
+                                  {"probe": j})
+
+    # -- chaos: loss, an outage and a network split, all control barriers
+    injector = FaultInjector(net, seed=seed ^ 0xC4A)
+    net.scheduler.schedule_at(65.2, injector.loss_episode, 0.3, 16.0)
+    net.scheduler.schedule_at(72.9, injector.host_outage, "h3", 11.0)
+    net.scheduler.schedule_at(
+        84.5, injector.partition_episode,
+        [["h0", "h1", "h2", "h3"], ["h4", "h5", "h6", "h7"]], 8.0)
+
+    net.run_until_idle()
+    result = {
+        "log": log,
+        "digest": log.digest(),
+        "per_host": log.per_host(),
+        "entries": len(log),
+        "sent": net.stats.sent,
+        "delivered": net.stats.delivered,
+        "dropped": net.stats.dropped,
+        "by_kind": dict(net.stats.by_kind),
+        "host_load": dict(net.stats.host_load),
+        "latency_count": net.stats.latency_count,
+        "acks": publisher.acks,
+        "probes": publisher.probes,
+        "received": [sub.received for sub in subscribers],
+        "routed": sci.total_routed(),
+        "final_time": net.scheduler.now,
+    }
+    close = getattr(net.scheduler, "close", None)
+    if close is not None:
+        close()
+    return result

@@ -1,0 +1,74 @@
+"""Differential harness: the substrate's equivalence theorem, executed.
+
+The partitioned scheduler's contract is that the observable event log —
+message deliveries and timer firings per host, in ``(time, execution)``
+order — is bit-identical for a fixed seed across partition counts and
+executors. ``partitioned(1)`` is the reference (one lane, unbounded
+horizon — literally the classic semantics); every other configuration
+must match it entry for entry, not merely digest for digest, so a
+failure pinpoints the first diverging host and record.
+
+The classic :class:`~repro.net.sim.Scheduler` is compared too: on the
+jittered-latency scenario, same-time cross-origin collisions (the only
+orderings where the global-heap and canonical-key orders may differ) have
+measure zero, so classic output must also be identical.
+"""
+
+import pytest
+
+from tests.parallel.scenarios import run_scenario
+
+PARTITION_COUNTS = (2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The single-lane partitioned run every configuration must match."""
+    return run_scenario(partitions=1)
+
+
+def _assert_equivalent(result, reference):
+    # entry-for-entry per-host comparison first: on failure pytest shows
+    # the first diverging host's sequences, not just two hashes
+    assert set(result["per_host"]) == set(reference["per_host"])
+    for host in sorted(reference["per_host"]):
+        assert result["per_host"][host] == reference["per_host"][host], (
+            f"host {host} observed a different event sequence")
+    assert result["digest"] == reference["digest"]
+    assert result["entries"] == reference["entries"]
+    # merged stats must agree exactly — counts, per-kind, per-host load
+    for key in ("sent", "delivered", "dropped", "by_kind", "host_load",
+                "latency_count"):
+        assert result[key] == reference[key], f"stats diverged on {key}"
+    # model-level observables: ack/probe counters, per-subscriber
+    # deliveries, routed steps, final simulated time
+    for key in ("acks", "probes", "received", "routed", "final_time"):
+        assert result[key] == reference[key], f"model diverged on {key}"
+
+
+@pytest.mark.parametrize("partitions", PARTITION_COUNTS)
+def test_partitioned_serial_matches_single_lane(partitions, reference):
+    _assert_equivalent(run_scenario(partitions=partitions), reference)
+
+
+@pytest.mark.parametrize("partitions", PARTITION_COUNTS)
+def test_partitioned_parallel_matches_single_lane(partitions, reference):
+    _assert_equivalent(run_scenario(partitions=partitions, parallel=True),
+                       reference)
+
+
+def test_classic_scheduler_matches_single_lane(reference):
+    _assert_equivalent(run_scenario(partitions=None), reference)
+
+
+def test_scenario_is_not_trivial(reference):
+    """Guard the harness itself: the scenario must actually exercise
+    deliveries, timers, drops and multi-hop routing — an accidental
+    empty log would make every equivalence above vacuously true."""
+    kinds = {entry[2] for entries in reference["per_host"].values()
+             for entry in entries}
+    assert kinds == {"deliver", "timer"}
+    assert reference["entries"] > 100
+    assert reference["dropped"] > 0, "chaos episode never dropped anything"
+    assert reference["routed"] > 0, "no routing probe ever took a step"
+    assert all(count > 0 for count in reference["received"])
