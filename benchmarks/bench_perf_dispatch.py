@@ -38,6 +38,9 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 BASELINE_PATH = RESULTS_DIR / "BENCH_dispatch.json"
 
 PUBLISH_SCALES = (100, 1_000, 10_000)
+#: one decade past the old ceiling — indexed path only (the naive path
+#: at 100k filter evaluations per publish has nothing left to prove)
+PUBLISH_CEILING = 100_000
 RESOLVE_SCALES = (100, 1_000, 10_000)
 #: fraction of subscriptions with non-analysable filters (stress residual)
 RESIDUAL_FRACTION = 0.01
@@ -174,6 +177,32 @@ class TestReportDispatchPerf:
                 assert speedup >= REQUIRED_SPEEDUP, (
                     f"indexed dispatch only {speedup:.1f}x faster at "
                     f"{scale} subscriptions (need >= {REQUIRED_SPEEDUP}x)")
+                naive_ceiling_eps = naive["eps"]
+        # decade extension: the indexed path a full order of magnitude past
+        # the old 10k ceiling must still beat the naive path at 10k
+        publishes = 50
+        indexed = measure_publish(PUBLISH_CEILING, indexed=True,
+                                  publishes=publishes)
+        assert indexed["delivered"] > 0
+        report(f"{PUBLISH_CEILING:>6} | {'(skipped)':>12} "
+               f"{indexed['eps']:>13.0f} {'':>8} | "
+               f"{indexed['metrics'].counter('mediator.index.hits', labels=('range',)).total():>8.0f} "
+               f"{indexed['metrics'].counter('mediator.index.residual_scans', labels=('range',)).total():>9.0f}")
+        baseline["publish"].append({
+            "subscriptions": PUBLISH_CEILING,
+            "publishes": publishes,
+            "naive_eps": None,
+            "indexed_eps": round(indexed["eps"], 1),
+            "speedup": None,
+            "index_hits": indexed["metrics"].counter(
+                "mediator.index.hits", labels=("range",)).total(),
+            "residual_scans": indexed["metrics"].counter(
+                "mediator.index.residual_scans", labels=("range",)).total(),
+        })
+        assert indexed["eps"] >= naive_ceiling_eps, (
+            f"indexed dispatch at {PUBLISH_CEILING} subscriptions "
+            f"({indexed['eps']:.0f} ev/s) fell below the naive path at "
+            f"{max(PUBLISH_SCALES)} ({naive_ceiling_eps:.0f} ev/s)")
         _save_baseline(baseline)
 
     def test_report_resolve_latency(self, report):

@@ -59,6 +59,12 @@ OVERLAY_NODES = 64
 MIN_SHARDED_THROUGHPUT_RATIO = 0.6
 SUBSTRATE_NODES = 400
 SUBSTRATE_ROUTES = 200
+#: catastrophic-regression guard for the sharded Context Server at smoke
+#: scale (the bench_perf_shard gate at 10^6 entities is the strict one):
+#: the sharded open-loop run may not fall below this fraction of the
+#: classic mediator's wall-clock throughput
+MIN_SHARD_WORKLOAD_RATIO = 0.6
+SHARD_WORKLOAD_ENTITIES = 5_000
 #: the dedup flood must cost at least this many times the tree's N-1
 #: messages at smoke scale (it sends per known node, duplicates and all)
 MIN_FLOOD_BLOWUP = 10
@@ -219,6 +225,41 @@ def main() -> int:
                 f"(>= {MIN_SHARDED_THROUGHPUT_RATIO}; "
                 f"{best['steps_per_s']:.0f} vs "
                 f"{classic_run['steps_per_s']:.0f} steps/s)")
+
+    print("smoke-perf: sharded mediator delivery equivalence...")
+    from tests.shard.scenarios import run_scenario as run_shard_scenario  # noqa: E402
+    plain = run_shard_scenario(shards=1)
+    shard3 = run_shard_scenario(shards=3)
+    ok &= check(shard3["logs"] == plain["logs"],
+                f"3-shard per-subscription logs entry-identical to plain "
+                f"({plain['delivered']} deliveries over "
+                f"{len(plain['logs'])} subscriptions)")
+    ok &= check(shard3["acks"] == plain["acks"]
+                and shard3["subscription_count"] == plain["subscription_count"],
+                f"acks and surviving subscriptions equal "
+                f"({plain['acks']} acks, {plain['subscription_count']} subs)")
+
+    print(f"smoke-perf: sharded open-loop throughput at "
+          f"{SHARD_WORKLOAD_ENTITIES} entities...")
+    from benchmarks.bench_perf_shard import measure as measure_workload  # noqa: E402
+    classic_wl = measure_workload(SHARD_WORKLOAD_ENTITIES, 20, 20,
+                                  shards=1, partitions=None,
+                                  duration=60.0, publish_rate=50.0,
+                                  trackers=2_000)
+    sharded_wl = measure_workload(SHARD_WORKLOAD_ENTITIES, 20, 20,
+                                  shards=4, partitions=4,
+                                  duration=60.0, publish_rate=50.0,
+                                  trackers=2_000)
+    ok &= check(sharded_wl["published"] == classic_wl["published"]
+                and sharded_wl["delivered"] == classic_wl["delivered"],
+                f"sharded run published/delivered the classic counts "
+                f"({classic_wl['published']}/{classic_wl['delivered']})")
+    wl_ratio = classic_wl["wall_s"] / sharded_wl["wall_s"]
+    ok &= check(wl_ratio >= MIN_SHARD_WORKLOAD_RATIO,
+                f"sharded workload throughput ratio {wl_ratio:.2f} "
+                f"(>= {MIN_SHARD_WORKLOAD_RATIO}; "
+                f"{sharded_wl['wall_s']:.2f}s vs {classic_wl['wall_s']:.2f}s "
+                "wall)")
 
     if not ok:
         print("smoke-perf: FAIL")

@@ -17,7 +17,10 @@ kind-handler.
 *handlers* — ``message.kind == "verb"`` / ``message.kind in (...)``
 comparisons, string keys of handler dicts (an assignment to a name
 containing ``handler``), and ``_handle_<verb>`` methods of classes that
-dispatch dynamically via ``getattr(self, f"_handle_{{...}}")``. Plain
+dispatch dynamically via ``getattr(self, f"_handle_{{...}}")`` — including
+classes that *inherit* such a dispatcher (resolved by base-class name
+across the whole tree, transitively: a ``ShardedEventMediator(EventMediator)``
+handler counts because ``EventMediator.on_message`` dispatches). Plain
 ``_handle_*`` helpers in other classes are ordinary methods, not handlers.
 
 *declared endpoints* — a module may declare verbs it handles as external
@@ -137,7 +140,40 @@ def _uses_dynamic_dispatch(klass: ast.ClassDef) -> bool:
     return False
 
 
-def _extract_from_source(source: SourceFile, model: VerbModel) -> None:
+def _base_names(klass: ast.ClassDef) -> Set[str]:
+    names: Set[str] = set()
+    for base in klass.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _dispatching_classes(sources: Iterable[SourceFile]) -> Set[str]:
+    """Names of classes that dispatch onto ``_handle_*``, directly or by
+    inheriting (transitively, resolved by base-class *name*) from a class
+    in the tree that does."""
+    dispatching: Set[str] = set()
+    bases: Dict[str, Set[str]] = {}
+    for source in sources:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                bases.setdefault(node.name, set()).update(_base_names(node))
+                if _uses_dynamic_dispatch(node):
+                    dispatching.add(node.name)
+    changed = True
+    while changed:
+        changed = False
+        for name, parents in bases.items():
+            if name not in dispatching and parents & dispatching:
+                dispatching.add(name)
+                changed = True
+    return dispatching
+
+
+def _extract_from_source(source: SourceFile, model: VerbModel,
+                         dispatching: Set[str]) -> None:
     module = source.module
 
     def site(line: int) -> Site:
@@ -166,7 +202,7 @@ def _extract_from_source(source: SourceFile, model: VerbModel) -> None:
             _extract_compare(node, model, site)
         elif isinstance(node, ast.Assign):
             _extract_handler_dict(node, model, site)
-        elif isinstance(node, ast.ClassDef) and _uses_dynamic_dispatch(node):
+        elif isinstance(node, ast.ClassDef) and node.name in dispatching:
             for item in node.body:
                 if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)) \
                         and item.name.startswith("_handle_"):
@@ -213,9 +249,11 @@ def _extract_handler_dict(node: ast.Assign, model: VerbModel, site) -> None:
 
 
 def build_model(sources: Iterable[SourceFile]) -> VerbModel:
+    sources = list(sources)
     model = VerbModel()
+    dispatching = _dispatching_classes(sources)
     for source in sources:
-        _extract_from_source(source, model)
+        _extract_from_source(source, model, dispatching)
     return model
 
 

@@ -4,9 +4,19 @@
 Context Aware Printing Application, plus a scripted builder for the full
 Bob/John scenario of Figure 7. :mod:`repro.apps.pathfinder` is the Figure-3
 floor-map application that displays the live path between two people.
+:mod:`repro.apps.workload` is the open-loop traffic generator the scale
+benchmarks drive the (sharded) Context Server internals with.
 """
 
 from repro.apps.capa import CAPAApp, CAPAScenario, build_capa_scenario
 from repro.apps.pathfinder import PathDisplayApp
+from repro.apps.workload import (
+    OpenLoopWorkload,
+    ProviderFeed,
+    WorkloadConfig,
+    ZipfSampler,
+)
 
-__all__ = ["CAPAApp", "CAPAScenario", "build_capa_scenario", "PathDisplayApp"]
+__all__ = ["CAPAApp", "CAPAScenario", "build_capa_scenario", "PathDisplayApp",
+           "OpenLoopWorkload", "ProviderFeed", "WorkloadConfig",
+           "ZipfSampler"]

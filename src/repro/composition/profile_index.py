@@ -20,12 +20,25 @@ Outputs whose type the registry does not know cannot be filed under
 ancestors; they go to a residual list scanned on every query, which
 reproduces the naive behaviour (``conversion_path`` raising for unknown
 types at query time) exactly.
+
+Buckets are insertion-ordered dicts keyed by a monotone entry token, with a
+reverse map from entity hex to its tokens. That makes single-profile deltas
+(``add_profile`` / ``remove_entity``) O(outputs x ancestors) instead of a
+full rebuild — the sharded resolver's arrival/departure fast path. Delta
+adds append after whatever is already filed; candidate correctness is
+order-insensitive because per-profile outputs stay adjacent (first-match
+rule) and the resolver sorts candidates by a total-order score.
+
+``owns`` optionally restricts which bucket type names this index files
+under (sharded deployments pass the ring-ownership predicate); residual
+entries are always kept, since every query must scan them.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.errors import SCIError
 from repro.core.types import TypeRegistry, TypeSpec
@@ -45,45 +58,97 @@ class ProviderEntry:
     template_name: Optional[str]  # for template
 
 
+#: reverse-map marker: the entry is filed on the residual list
+_RESIDUAL = None
+
+
 class ProfileIndex:
     """Type-keyed provider buckets, rebuilt only when the feed changes.
 
     The owner (the resolver) decides *when* to rebuild — typically gated on
     registrar/template version counters so registrations, departures and
     lease expiries invalidate the index instead of every query paying a
-    rebuild.
+    rebuild. Between rebuilds, single-entity deltas can be applied in place.
     """
 
-    def __init__(self, registry: TypeRegistry):
+    def __init__(self, registry: TypeRegistry,
+                 owns: Optional[Callable[[str], bool]] = None):
         self.registry = registry
-        self._buckets: Dict[str, List[ProviderEntry]] = {}
-        self._residual: List[ProviderEntry] = []
+        self.owns = owns
+        self._tokens = itertools.count(1)
+        self._buckets: Dict[str, Dict[int, ProviderEntry]] = {}
+        self._residual: Dict[int, ProviderEntry] = {}
+        #: entity hex -> entry token -> bucket names filed under
+        #: (the _RESIDUAL marker stands for the residual list)
+        self._by_entity: Dict[str, Dict[int, List[Optional[str]]]] = {}
         self.entries = 0
 
     def rebuild(self, live_profiles: List[Profile],
                 templates: TemplateRegistry) -> None:
         self._buckets = {}
-        self._residual = []
+        self._residual = {}
+        self._by_entity = {}
         self.entries = 0
         for profile in live_profiles:
-            self._add_profile(profile, "live", profile.entity_id.hex, None)
+            self.add_profile(profile, "live", profile.entity_id.hex, None)
         for template in templates.all_templates():
-            self._add_profile(template.prototype, "template", None, template.name)
+            self.add_profile(template.prototype, "template", None, template.name)
 
-    def _add_profile(self, profile: Profile, origin: str,
-                     entity_hex: Optional[str],
-                     template_name: Optional[str]) -> None:
+    def add_profile(self, profile: Profile, origin: str = "live",
+                    entity_hex: Optional[str] = None,
+                    template_name: Optional[str] = None) -> int:
+        """File one profile's outputs; returns the number of entries filed.
+
+        Usable both from :meth:`rebuild` and as a live delta when a single
+        entity registers — new entries land after existing ones, which the
+        resolver's score-sort makes order-equivalent to a full rebuild.
+        """
+        if origin == "live" and entity_hex is None:
+            entity_hex = profile.entity_id.hex
+        filed_count = 0
         for position, offered in enumerate(profile.outputs):
             entry = ProviderEntry(profile, offered, position, origin,
                                   entity_hex, template_name)
-            self.entries += 1
+            token = next(self._tokens)
+            filed: List[Optional[str]] = []
             try:
                 ancestors = self.registry.ancestors(offered.type_name)
             except SCIError:
-                self._residual.append(entry)
-                continue
-            for type_name in ancestors:
-                self._buckets.setdefault(type_name, []).append(entry)
+                self._residual[token] = entry
+                filed.append(_RESIDUAL)
+            else:
+                for type_name in ancestors:
+                    if self.owns is not None and not self.owns(type_name):
+                        continue
+                    self._buckets.setdefault(type_name, {})[token] = entry
+                    filed.append(type_name)
+            if not filed:
+                continue  # every bucket belongs to another shard
+            self.entries += 1
+            filed_count += 1
+            if entity_hex is not None:
+                self._by_entity.setdefault(entity_hex, {})[token] = filed
+        return filed_count
+
+    def remove_entity(self, entity_hex: str) -> int:
+        """Unfile every entry of a departed entity; returns entries removed."""
+        tokens = self._by_entity.pop(entity_hex, None)
+        if not tokens:
+            return 0
+        removed = 0
+        for token, filed in tokens.items():
+            removed += 1
+            self.entries -= 1
+            for type_name in filed:
+                if type_name is _RESIDUAL:
+                    self._residual.pop(token, None)
+                    continue
+                bucket = self._buckets.get(type_name)
+                if bucket is not None:
+                    bucket.pop(token, None)
+                    if not bucket:
+                        del self._buckets[type_name]
+        return removed
 
     def providers(self, type_name: str) -> List[ProviderEntry]:
         """Entries whose offered output could satisfy ``type_name``.
@@ -91,10 +156,11 @@ class ProfileIndex:
         Bucketed entries first (enumeration order), then the residual list —
         the same relative order the naive scan visits them in.
         """
-        bucket = self._buckets.get(type_name, [])
-        if not self._residual:
-            return bucket
-        return bucket + self._residual
+        bucket = self._buckets.get(type_name)
+        found = list(bucket.values()) if bucket else []
+        if self._residual:
+            found.extend(self._residual.values())
+        return found
 
     @property
     def residual_size(self) -> int:

@@ -92,6 +92,7 @@ class QueryResolver:
         bindings_of: Optional[Callable[[str], Optional[Dict[str, object]]]] = None,
         feed_version: Optional[Callable[[], object]] = None,
         indexed: bool = True,
+        shards: int = 1,
         metrics=None,
         range_name: str = "",
     ):
@@ -108,6 +109,18 @@ class QueryResolver:
         self.index_hits = 0
         self._index = ProfileIndex(registry)
         self._index_token: object = _NEVER_BUILT
+        self._shard_index = None
+        if shards > 1:
+            if not indexed:
+                raise ValueError("sharded candidate search requires indexed=True")
+            if feed_version is None:
+                raise ValueError(
+                    "sharded candidate search needs a feed_version callable "
+                    "returning (registrations_version, templates_version)")
+            # imported lazily: shard_index pulls in repro.server (for the
+            # ring), which imports this module back through the manager
+            from repro.composition.shard_index import ShardedProfileIndex
+            self._shard_index = ShardedProfileIndex(registry, shards)
         self._metrics = metrics
         self._range_label = range_name or "-"
 
@@ -135,6 +148,41 @@ class QueryResolver:
         plan.validate()
         logger.debug("resolved %s ->\n%s", wanted, plan.describe())
         return plan
+
+    @property
+    def shard_count(self) -> int:
+        return self._shard_index.shard_count if self._shard_index else 1
+
+    def note_profile_added(self, profile: Optional[Profile]) -> int:
+        """Arrival delta for the sharded index; no-op when unsharded.
+
+        Call *after* the feed version has been bumped for this arrival.
+        ``profile`` is None for arrivals that contribute no providers
+        (context-aware applications) — the version chain still advances.
+        Returns the number of shard slices patched in place.
+        """
+        if self._shard_index is None:
+            return 0
+        applied = self._shard_index.apply_add(profile, self.feed_version())
+        if self._metrics is not None:
+            self._metrics.counter(
+                "resolver.shard.deltas",
+                "single-profile deltas applied in place of slice rebuilds",
+                labels=("range",)).inc(range=self._range_label)
+        return applied
+
+    def note_profile_removed(self, entity_hex: Optional[str]) -> int:
+        """Departure delta for the sharded index; no-op when unsharded."""
+        if self._shard_index is None:
+            return 0
+        applied = self._shard_index.apply_remove(entity_hex,
+                                                 self.feed_version())
+        if self._metrics is not None:
+            self._metrics.counter(
+                "resolver.shard.deltas",
+                "single-profile deltas applied in place of slice rebuilds",
+                labels=("range",)).inc(range=self._range_label)
+        return applied
 
     # -- search --------------------------------------------------------------------
 
@@ -228,7 +276,20 @@ class QueryResolver:
     ) -> List[_Candidate]:
         if not self.indexed:
             return self._candidates_naive(wanted, chain, exclude, predicate)
-        self._ensure_index()
+        if self._shard_index is not None:
+            entries, rebuilt = self._shard_index.providers(
+                wanted.type_name, self.live_profiles, self.templates,
+                self.feed_version())
+            if rebuilt:
+                self.index_rebuilds += 1
+                if self._metrics is not None:
+                    self._metrics.counter(
+                        "resolver.shard.rebuilds",
+                        "per-shard provider slice rebuilds on stale tokens",
+                        labels=("range",)).inc(range=self._range_label)
+        else:
+            self._ensure_index()
+            entries = self._index.providers(wanted.type_name)
         self.index_hits += 1
         if self._metrics is not None:
             self._metrics.counter(
@@ -237,7 +298,7 @@ class QueryResolver:
                 labels=("range",)).inc(range=self._range_label)
         found: List[_Candidate] = []
         taken: Set[Tuple[str, Optional[str]]] = set()
-        for entry in self._index.providers(wanted.type_name):
+        for entry in entries:
             if entry.origin == "live":
                 if entry.entity_hex in exclude:
                     continue

@@ -83,6 +83,12 @@ class Bridge:
 class EventMediator(Process):
     """Pub/sub hub for one range."""
 
+    #: whether :meth:`_fan_out` stores published events in the retained
+    #: store. The sharded router (:mod:`repro.events.sharding`) turns this
+    #: off — retention is owned by the shard that owns the event's key, and
+    #: the router only re-dispatches events a shard forwarded to it.
+    retain_events = True
+
     def __init__(self, guid: GUID, host_id: str, network: Network,
                  range_name: str = "",
                  retained_cap: int = DEFAULT_RETAINED_CAP,
@@ -121,6 +127,11 @@ class EventMediator(Process):
         #: type_name -> ordered set of retained keys, so replay for a
         #: type-constrained subscription scans only that type's entries
         self._retained_by_type: Dict[str, Dict[tuple, None]] = {}
+        #: key -> seq of the event that *first* created the entry (kept
+        #: across in-place updates). A global stamp of retention order, so
+        #: retained stores split across shards can be merged back into the
+        #: order a single mediator would have replayed them in.
+        self._retained_first: Dict[tuple, int] = {}
         # hot-path counter handles, resolved once (registry lookup is not free)
         metrics = network.obs.metrics
         self._published_counter = metrics.counter(
@@ -296,7 +307,8 @@ class EventMediator(Process):
         return delivered
 
     def _fan_out(self, event: ContextEvent, bridged: bool) -> int:
-        self._store_retained(event)
+        if self.retain_events:
+            self._store_retained(event)
         if not self.indexed:
             return self._fan_out_naive(event, bridged)
         label = self.range_name or "-"
@@ -358,6 +370,7 @@ class EventMediator(Process):
         if key not in self._retained and len(self._retained) >= self.retained_cap:
             oldest_key = next(iter(self._retained))
             del self._retained[oldest_key]
+            self._retained_first.pop(oldest_key, None)
             by_type = self._retained_by_type.get(oldest_key[0])
             if by_type is not None:
                 by_type.pop(oldest_key, None)
@@ -367,6 +380,7 @@ class EventMediator(Process):
             self._retained_evicted_counter.inc(range=self.range_name or "-")
         self._retained[key] = event
         self._retained_by_type.setdefault(event.type_name, {})[key] = None
+        self._retained_first.setdefault(key, event.seq)
 
     def _deliver(self, subscription: Subscription, event: ContextEvent) -> None:
         subscription.record_delivery()
@@ -412,9 +426,11 @@ class EventMediator(Process):
     def _handle_publish(self, message: Message) -> None:
         event = ContextEvent.from_wire(message.payload["event"])
         delivered = self.publish(event, bridged=bool(message.payload.get("bridged")))
-        # publishers that request-with-retries consume this ack; fire-and-
-        # forget publishers (and peer mediators) simply ignore it
-        self.reply(message, "publish-ack", {"delivered": delivered})
+        # publishers that request-with-retries consume this ack; open-loop
+        # fire-and-forget publishers opt out with ``"ack": False`` to halve
+        # their message footprint
+        if message.payload.get("ack", True):
+            self.reply(message, "publish-ack", {"delivered": delivered})
 
     def _handle_subscribe(self, message: Message) -> None:
         event_filter = filter_from_spec(message.payload["filter"])
@@ -496,5 +512,76 @@ class EventMediator(Process):
         bucket = self._subs_by_subscriber.get(subscriber, {})
         return [self._subscriptions[sub_id] for sub_id in bucket]
 
+    def subscriptions(self) -> List[Subscription]:
+        """Every live subscription, in insertion order."""
+        return list(self._subscriptions.values())
+
+    def subscription_ids_of(self, owner: object) -> List[int]:
+        """Sub ids established for ``owner`` (empty for unhashable owners)."""
+        try:
+            bucket = self._subs_by_owner.get(owner)
+        except TypeError:
+            return []
+        return list(bucket) if bucket else []
+
     def retained_event(self, type_name: str, representation: str, subject: object) -> Optional[ContextEvent]:
         return self._retained.get((type_name, representation, subject))
+
+    # -- shard migration surface ----------------------------------------------
+    #
+    # The sharded mediator (:mod:`repro.events.sharding`) moves live state
+    # between worker shards on rebalance. Adopt/release transfer existing
+    # objects wholesale — a released subscription keeps its sub_id, seq and
+    # delivery count, so migration can neither lose nor duplicate it.
+
+    def adopt_subscription(self, subscription: Subscription) -> None:
+        """Install an existing subscription (sub_id preserved, no replay)."""
+        self._subscriptions[subscription.sub_id] = subscription
+        self._sub_index.add(subscription.sub_id, subscription.filter)
+        if subscription.owner is not None:
+            self._reverse_add(self._subs_by_owner, subscription.owner,
+                              subscription.sub_id)
+        self._reverse_add(self._subs_by_subscriber, subscription.subscriber,
+                          subscription.sub_id)
+
+    def release_subscription(self, sub_id: int) -> Optional[Subscription]:
+        """Remove a subscription *without* deactivating it (for migration)."""
+        subscription = self._subscriptions.get(sub_id)
+        if subscription is None:
+            return None
+        self._drop_subscription(subscription)
+        return subscription
+
+    def retained_entries(self, type_name: Optional[str] = None) -> List[tuple]:
+        """``(first_retained_seq, key, event)`` tuples, local store order."""
+        if type_name is not None:
+            keys = [key for key in self._retained_by_type.get(type_name, ())
+                    if key in self._retained]
+        else:
+            keys = list(self._retained)
+        return [(self._retained_first.get(key, 0), key, self._retained[key])
+                for key in keys]
+
+    def adopt_retained(self, key: tuple, event: ContextEvent,
+                       first_seq: int) -> None:
+        """Install a migrated retained entry, preserving its first-seq stamp.
+
+        The cap is not enforced here — a migration batch may transiently
+        overfill the store; the next :meth:`_store_retained` evicts back
+        down oldest-first.
+        """
+        self._retained[key] = event
+        self._retained_by_type.setdefault(key[0], {})[key] = None
+        self._retained_first[key] = first_seq
+
+    def release_retained(self, key: tuple) -> Optional[tuple]:
+        """Drop one retained entry; returns ``(first_seq, event)`` or None."""
+        event = self._retained.pop(key, None)
+        if event is None:
+            return None
+        by_type = self._retained_by_type.get(key[0])
+        if by_type is not None:
+            by_type.pop(key, None)
+            if not by_type:
+                del self._retained_by_type[key[0]]
+        return (self._retained_first.pop(key, 0), event)

@@ -130,6 +130,27 @@ _declare("registrar.expiry.pops", "counter",
 _declare("cs.query.routed", "counter",
          "queries routed per range and outcome", labels=("range", "status"))
 
+# -- sharded context server ---------------------------------------------------
+
+_declare("cs.shard.routed", "counter",
+         "publishes routed by the mediator router to an owner shard",
+         labels=("range",))
+_declare("cs.shard.dispatched", "counter",
+         "shard-event forwards dispatched to routed subscriptions",
+         labels=("range",))
+_declare("cs.shard.forwarded", "counter",
+         "events a shard forwarded to the router for routed subscriptions",
+         labels=("range",))
+_declare("cs.shard.handoffs", "counter",
+         "in-flight publishes handed off after an ownership change",
+         labels=("range",))
+_declare("cs.shard.moved_subs", "counter",
+         "subscriptions migrated between shards on rebalance",
+         labels=("range",))
+_declare("cs.shard.moved_retained", "counter",
+         "retained events migrated between shards on rebalance",
+         labels=("range",))
+
 # -- composition: configuration graphs and resolver ---------------------------
 
 _declare("config.graph.builds", "counter",
@@ -142,6 +163,21 @@ _declare("resolver.index.hits", "counter",
          "candidate lookups served from the profile index", labels=("range",))
 _declare("resolver.index.rebuilds", "counter",
          "profile index rebuilds triggered by feed changes", labels=("range",))
+_declare("resolver.shard.rebuilds", "counter",
+         "per-shard provider slice rebuilds on stale tokens",
+         labels=("range",))
+_declare("resolver.shard.deltas", "counter",
+         "single-profile deltas applied in place of slice rebuilds",
+         labels=("range",))
+
+# -- open-loop workload harness -----------------------------------------------
+
+_declare("workload.ops.generated", "counter",
+         "open-loop operations generated, by kind", labels=("kind",))
+_declare("workload.events.delivered", "counter",
+         "events received by workload sinks")
+_declare("workload.delivery.latency", "histogram",
+         "sim-time publish-to-delivery latency at workload sinks")
 
 # -- experiments --------------------------------------------------------------
 

@@ -31,9 +31,16 @@ FIG1_HOPS = "fig1.route.hops"
 
 
 def run_overlay_instrumented(n: int, messages: int = MESSAGES,
-                             seed: int = 0) -> Dict[str, Any]:
-    """Route a uniform workload over an N-range SCINET; return a run record."""
-    net = Network(latency_model=FixedLatency(1.0), seed=seed)
+                             seed: int = 0,
+                             partitions: Optional[int] = None) -> Dict[str, Any]:
+    """Route a uniform workload over an N-range SCINET; return a run record.
+
+    ``partitions`` runs the same workload on the partitioned scheduler
+    (one lane per partition) instead of the classic single-heap one; the
+    run record must come out identical either way.
+    """
+    net = Network(latency_model=FixedLatency(1.0), seed=seed,
+                  partitions=partitions)
     sci = SCINet(net)
     nodes = [sci.create_node(f"h{i}", range_name=f"r{i}") for i in range(n)]
     latency = net.obs.metrics.histogram(
@@ -54,7 +61,11 @@ def run_overlay_instrumented(n: int, messages: int = MESSAGES,
         nodes[rng.randrange(n)].route(key, "probe", {})
         net.scheduler.run_for(40)
         target.on_delivery.remove(on_delivery)
-    return _run_record("overlay", n, messages, seed, net)
+    record = _run_record("overlay", n, messages, seed, net)
+    close = getattr(net.scheduler, "close", None)
+    if close is not None:
+        close()
+    return record
 
 
 def run_hierarchy_instrumented(n: int, messages: int = MESSAGES,

@@ -86,6 +86,9 @@ class ContextServer(Process):
         lease_duration: float = 30.0,
         max_repairs_per_config: Optional[int] = None,
         reliable_events: bool = True,
+        mediator_shards: int = 1,
+        resolver_shards: int = 1,
+        shard_hosts: Optional[List[str]] = None,
     ):
         super().__init__(guid, host_id, network, name=f"cs:{definition.name}")
         self.definition = definition
@@ -97,10 +100,23 @@ class ContextServer(Process):
         # -- Context Utilities (Section 3.1's core set) -----------------------
         # the range mediator runs in reliable (ack/retry + sequenced) mode
         # by default; ``reliable_events=False`` is the fire-and-forget
-        # ablation matching the seed behaviour
-        self.mediator = EventMediator(self.guids.mint(), host_id, network,
-                                      definition.name,
-                                      reliable=reliable_events)
+        # ablation matching the seed behaviour. ``mediator_shards > 1``
+        # partitions the mediator into worker shards behind a router with
+        # the same observable delivery behaviour (see repro.events.sharding).
+        if mediator_shards > 1:
+            # imported lazily: repro.events.sharding imports repro.server
+            # modules, so a module-top import here would be a cycle
+            from repro.events.sharding import ShardedEventMediator
+            self.mediator: EventMediator = ShardedEventMediator(
+                self.guids.mint(), host_id, network, definition.name,
+                shards=mediator_shards,
+                shard_hosts=shard_hosts,
+                guid_factory=self.guids,
+                reliable=reliable_events)
+        else:
+            self.mediator = EventMediator(self.guids.mint(), host_id, network,
+                                          definition.name,
+                                          reliable=reliable_events)
         self.registrar = Registrar(self.guids.mint(), host_id, network,
                                    definition.name,
                                    context_server=self.guid,
@@ -126,9 +142,11 @@ class ContextServer(Process):
             # template set changes (registration, departure, lease expiry)
             feed_version=lambda: (self.registrar.version,
                                   self.templates.version),
+            shards=resolver_shards,
             metrics=network.obs.metrics,
             range_name=definition.name,
         )
+        self.resolver = resolver
         self.configurations = ConfigurationManager(
             network=network,
             host_id=host_id,
@@ -186,9 +204,17 @@ class ContextServer(Process):
             lease_expiry=None,
         )
         self.registrar.register_record(record, notify=False)
+        # notify=False skips on_arrival, so patch the sharded provider
+        # index here (the version was bumped by register_record)
+        self.resolver.note_profile_added(record.profile)
         self.profiles.add(entity.profile, entity.advertisements)
 
     def _entity_arrived(self, record: RegistrationRecord) -> None:
+        # CAAs provide no context: a None delta advances the version chain
+        # of the sharded provider index without filing anything
+        self.resolver.note_profile_added(
+            record.profile if record.kind in ("ce", "infrastructure")
+            else None)
         self.profiles.add(record.profile, record.advertisements)
         home = record.profile.attributes.get("room")
         if home and record.profile.entity_class != EntityClass.SOFTWARE:
@@ -200,6 +226,8 @@ class ContextServer(Process):
 
     def _entity_departed(self, record: RegistrationRecord, reason: str) -> None:
         entity_hex = record.entity_hex
+        self.resolver.note_profile_removed(
+            entity_hex if record.kind in ("ce", "infrastructure") else None)
         self.profiles.remove(entity_hex)
         self.location.forget(record.profile.name)
         self.mediator.remove_subscriber(record.profile.entity_id)

@@ -1,0 +1,131 @@
+"""Consistent-hash ownership of ``(type, subject)`` keys across CS shards.
+
+The Context Server's utilities (Event Mediator, Query Resolver) can be
+partitioned into K worker shards. Ownership of a context key — the
+``(type_name, subject)`` pair that identifies one stream of context about
+one entity — is decided by a consistent-hash ring with virtual nodes, so
+
+* the mapping is a pure function of the key and the current shard set
+  (every component that holds a ring reference agrees without messages);
+* adding or removing one shard moves only ``~1/K`` of the keys, instead of
+  reshuffling everything the way ``hash(key) % K`` would;
+* the hash is content-derived (BLAKE2b over a canonical rendering), never
+  Python's randomised ``hash()``, so two runs with the same seed shard
+  identically — the determinism contract every benchmark relies on.
+
+Subjects can be any event subject (strings in practice, ``None`` for
+subject-less types); they are rendered with ``repr`` which is stable for
+the plain-data subjects events carry. The resolver uses the degenerate key
+``(type_name, None)`` so provider buckets shard by offered type.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
+
+#: virtual nodes per shard. 64 points keep the max/mean key imbalance under
+#: ~1.3 for small K while the ring stays tiny (K x 64 sorted entries).
+DEFAULT_VNODES = 64
+
+
+def _hash_token(token: str) -> int:
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def hash_key(key: Tuple[str, object]) -> int:
+    """Ring position of a ``(type_name, subject)`` key."""
+    type_name, subject = key
+    return _hash_token(f"k:{type_name}\x1f{subject!r}")
+
+
+class ShardRing:
+    """Sorted ring of virtual nodes with bisect lookup.
+
+    ``owner(key)`` returns the shard id whose first virtual node lies at or
+    clockwise-after the key's hash. Stability under membership change is
+    structural: a shard's virtual-node positions depend only on its id, so
+    adding shard S inserts S's points and steals exactly the key arcs that
+    now fall behind them — every other key keeps its owner (the property
+    suite pins this).
+    """
+
+    def __init__(self, shard_ids: Tuple[int, ...] = (),
+                 vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        #: sorted (point, shard_id) pairs
+        self._points: List[Tuple[int, int]] = []
+        self._members: Dict[int, None] = {}
+        for shard_id in shard_ids:
+            self.add(shard_id)
+
+    # -- membership -----------------------------------------------------------
+
+    def add(self, shard_id: int) -> None:
+        if shard_id in self._members:
+            raise ValueError(f"shard {shard_id} already on the ring")
+        self._members[shard_id] = None
+        for vnode in range(self.vnodes):
+            point = _hash_token(f"s:{shard_id}:{vnode}")
+            self._points.append((point, shard_id))
+        self._points.sort()
+
+    def remove(self, shard_id: int) -> None:
+        if shard_id not in self._members:
+            raise ValueError(f"shard {shard_id} not on the ring")
+        del self._members[shard_id]
+        self._points = [entry for entry in self._points
+                        if entry[1] != shard_id]
+
+    @property
+    def shard_ids(self) -> List[int]:
+        return list(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, shard_id: int) -> bool:
+        return shard_id in self._members
+
+    # -- lookup ---------------------------------------------------------------
+
+    def owner(self, key: Tuple[str, object]) -> int:
+        """Shard id owning ``(type_name, subject)``; ring must be non-empty."""
+        return self.owner_of_point(hash_key(key))
+
+    def owner_of_point(self, point: int) -> int:
+        if not self._points:
+            raise ValueError("shard ring is empty")
+        index = bisect_right(self._points, (point, 2**63))
+        if index == len(self._points):
+            index = 0  # wrap: first virtual node clockwise from zero
+        return self._points[index][1]
+
+    def spread(self, keys) -> Dict[int, int]:
+        """Key count per shard — imbalance introspection for the benches."""
+        counts: Dict[int, int] = {shard_id: 0 for shard_id in self._members}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+
+def stable_owner_check(ring_before: ShardRing, ring_after: ShardRing,
+                       keys, changed: Optional[int] = None) -> List[tuple]:
+    """Keys whose owner changed without involving shard ``changed``.
+
+    Consistent hashing promises the empty list: a membership change may only
+    move keys *onto* an added shard or *off* a removed one. Used by the
+    ownership test-suite; returns the violating ``(key, before, after)``
+    triples for a readable assertion message.
+    """
+    violations = []
+    for key in keys:
+        before = ring_before.owner(key)
+        after = ring_after.owner(key)
+        if before != after and changed not in (before, after):
+            violations.append((key, before, after))
+    return violations

@@ -1,0 +1,148 @@
+"""Property-based sharding invariants: delivery equivalence and ring
+stability.
+
+The first property is the sharded mediator's contract fuzzed: for ANY
+mix of filter shapes, event streams, one-time flags and shard counts,
+per-subscriber delivery logs match the plain mediator entry for entry.
+The second is the consistent-hash ring's monotonicity: growing the ring
+only moves keys *onto* the new shard, draining only moves keys *off* the
+drained shard — everything else keeps its owner (the property that makes
+rebalance traffic proportional to 1/K instead of reshuffling the world).
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ids import GuidFactory
+from repro.core.types import TypeSpec
+from repro.events import subscription as subscription_module
+from repro.events.event import ContextEvent
+from repro.events.filters import (AndFilter, MatchAll, SubjectFilter,
+                                  TypeFilter)
+from repro.events.mediator import EventMediator
+from repro.events.sharding import ShardedEventMediator
+from repro.net.transport import FixedLatency, FunctionProcess, Network
+from repro.server.shard import ShardRing
+
+TYPES = ["location", "temperature", "presence"]
+SUBJECTS = ["bob", "john", "ada"]
+
+
+@st.composite
+def subscription_specs(draw):
+    """(shape, type, subject, one_time) covering every dispatch bucket."""
+    shape = draw(st.sampled_from(["exact", "type", "subject", "all"]))
+    return (shape,
+            draw(st.sampled_from(TYPES)),
+            draw(st.sampled_from(SUBJECTS)),
+            draw(st.booleans()))
+
+
+def _build_filter(shape, type_name, subject):
+    if shape == "exact":
+        return AndFilter([TypeFilter(type_name), SubjectFilter(subject)])
+    if shape == "type":
+        return TypeFilter(type_name)
+    if shape == "subject":
+        return SubjectFilter(subject)
+    return MatchAll()
+
+
+event_streams = st.lists(
+    st.tuples(st.sampled_from(TYPES), st.sampled_from(SUBJECTS),
+              st.integers(0, 100)),
+    min_size=1, max_size=25)
+
+subscription_lists = st.lists(subscription_specs(), min_size=1, max_size=8)
+
+
+def run_stream(event_list, sub_specs, shards):
+    """Deliver a stream through one configuration; per-subscriber logs."""
+    subscription_module._subscription_ids = itertools.count(1)
+    net = Network(latency_model=FixedLatency(1.0), seed=1)
+    net.add_host("h")
+    guids = GuidFactory(seed=2)
+    if shards > 1:
+        mediator = ShardedEventMediator(guids.mint(), "h", net, "r",
+                                        shards=shards, guid_factory=guids)
+        route = mediator.shard_guid_for
+    else:
+        mediator = EventMediator(guids.mint(), "h", net, "r")
+        route = lambda _type, _subject: mediator.guid
+    inboxes = []
+    for shape, type_name, subject, one_time in sub_specs:
+        inbox = []
+        subscriber = FunctionProcess(guids.mint(), "h", net, inbox.append)
+        mediator.add_subscription(subscriber.guid,
+                                  _build_filter(shape, type_name, subject),
+                                  one_time=one_time)
+        inboxes.append(inbox)
+    publisher = FunctionProcess(guids.mint(), "h", net, lambda _m: None)
+    source = guids.mint()
+    for i, (type_name, subject, value) in enumerate(event_list):
+        wire = ContextEvent(TypeSpec(type_name, "raw", subject), value,
+                            source, float(i), seq=1000 + i).to_wire()
+        net.scheduler.schedule_at(
+            10.0 + i, publisher.send, route(type_name, subject),
+            "publish", {"event": wire, "ack": False})
+    net.run_until_idle()
+    return [[(m.payload["event"]["type"], m.payload["event"]["subject"],
+              m.payload["event"]["value"])
+             for m in inbox if m.kind == "event"]
+            for inbox in inboxes]
+
+
+class TestShardedDeliveryEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(events=event_streams, sub_specs=subscription_lists,
+           shards=st.integers(2, 6))
+    def test_sharded_logs_match_plain(self, events, sub_specs, shards):
+        plain = run_stream(events, sub_specs, shards=1)
+        sharded = run_stream(events, sub_specs, shards=shards)
+        assert sharded == plain
+
+
+ring_keys = st.lists(
+    st.tuples(st.sampled_from(TYPES + [f"t{i}" for i in range(8)]),
+              st.sampled_from(SUBJECTS + [None])),
+    min_size=1, max_size=60)
+
+
+class TestRingStability:
+    @settings(max_examples=150, deadline=None)
+    @given(keys=ring_keys, shards=st.integers(1, 8),
+           new_shard=st.integers(100, 110))
+    def test_growth_only_moves_keys_onto_new_shard(self, keys, shards,
+                                                   new_shard):
+        before = ShardRing(tuple(range(shards)))
+        owners = {key: before.owner(key) for key in keys}
+        after = ShardRing(tuple(range(shards)))
+        after.add(new_shard)
+        for key in keys:
+            owner = after.owner(key)
+            assert owner == owners[key] or owner == new_shard
+
+    @settings(max_examples=150, deadline=None)
+    @given(keys=ring_keys, shards=st.integers(2, 8), data=st.data())
+    def test_drain_only_moves_keys_off_drained_shard(self, keys, shards,
+                                                     data):
+        victim = data.draw(st.integers(0, shards - 1))
+        before = ShardRing(tuple(range(shards)))
+        owners = {key: before.owner(key) for key in keys}
+        after = ShardRing(tuple(range(shards)))
+        after.remove(victim)
+        for key in keys:
+            if owners[key] == victim:
+                assert after.owner(key) != victim
+            else:
+                assert after.owner(key) == owners[key]
+
+    @settings(max_examples=150, deadline=None)
+    @given(keys=ring_keys, shards=st.integers(1, 8))
+    def test_ownership_is_deterministic(self, keys, shards):
+        one = ShardRing(tuple(range(shards)))
+        two = ShardRing(tuple(range(shards)))
+        assert [one.owner(key) for key in keys] == \
+               [two.owner(key) for key in keys]

@@ -1,0 +1,67 @@
+"""Consistent-hash ownership: stability, balance, membership errors."""
+
+import pytest
+
+from repro.server.shard import ShardRing, stable_owner_check
+
+KEYS = [(f"type-{i % 7}", f"entity-{i}") for i in range(2000)]
+KEYS += [("status", None), ("location", ("room", 3))]
+
+
+class TestOwnership:
+    def test_deterministic_across_instances(self):
+        a = ShardRing((0, 1, 2))
+        b = ShardRing((0, 1, 2))
+        assert [a.owner(key) for key in KEYS] == [b.owner(key) for key in KEYS]
+
+    def test_owner_independent_of_insertion_order(self):
+        a = ShardRing((0, 1, 2))
+        b = ShardRing((2, 0, 1))
+        assert [a.owner(key) for key in KEYS] == [b.owner(key) for key in KEYS]
+
+    def test_add_moves_keys_only_onto_new_shard(self):
+        before = ShardRing((0, 1, 2))
+        after = ShardRing((0, 1, 2))
+        after.add(3)
+        violations = stable_owner_check(before, after, KEYS, changed=3)
+        assert violations == []
+        moved = sum(1 for key in KEYS if before.owner(key) != after.owner(key))
+        # the new shard takes ~1/K of the keys, and nothing else reshuffles
+        assert 0 < moved < len(KEYS) // 2
+
+    def test_remove_moves_keys_only_off_removed_shard(self):
+        before = ShardRing((0, 1, 2, 3))
+        after = ShardRing((0, 1, 2, 3))
+        after.remove(2)
+        violations = stable_owner_check(before, after, KEYS, changed=2)
+        assert violations == []
+        assert all(after.owner(key) != 2 for key in KEYS)
+
+    def test_add_then_remove_restores_original_owners(self):
+        ring = ShardRing((0, 1))
+        original = [ring.owner(key) for key in KEYS]
+        ring.add(2)
+        ring.remove(2)
+        assert [ring.owner(key) for key in KEYS] == original
+
+    def test_spread_reasonably_balanced(self):
+        ring = ShardRing((0, 1, 2, 3))
+        counts = ring.spread(KEYS)
+        assert all(count > 0 for count in counts.values())
+        assert max(counts.values()) < 3 * min(counts.values())
+
+
+class TestMembership:
+    def test_duplicate_add_rejected(self):
+        ring = ShardRing((0,))
+        with pytest.raises(ValueError):
+            ring.add(0)
+
+    def test_unknown_remove_rejected(self):
+        ring = ShardRing((0,))
+        with pytest.raises(ValueError):
+            ring.remove(7)
+
+    def test_empty_ring_has_no_owner(self):
+        with pytest.raises(ValueError):
+            ShardRing().owner(("location", "bob"))
