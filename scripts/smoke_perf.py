@@ -20,7 +20,12 @@ structural properties a refactor could silently regress:
 * the partitioned substrate still produces the bit-identical canonical
   event log at 2 partitions (serial and threaded) that ``tests/parallel``
   proves at full scale, and sharded route throughput has not fallen off a
-  cliff relative to the classic scheduler.
+  cliff relative to the classic scheduler;
+* the operator-graph engine delivers entry-identical logs to the indexed
+  path (single and sharded, with continuous queries) and actually shares
+  nodes under a look-alike subscription pool (reuse ratio gated) — a
+  change that silently broke canonicalisation would instantiate one node
+  per subscription and fail here at smoke scale.
 
 Exits non-zero on any failure, so CI can gate on it. Usage::
 
@@ -65,6 +70,10 @@ SUBSTRATE_ROUTES = 200
 #: classic mediator's wall-clock throughput
 MIN_SHARD_WORKLOAD_RATIO = 0.6
 SHARD_WORKLOAD_ENTITIES = 5_000
+#: look-alike trackers for the opgraph smoke run; with a 64-template pool
+#: nearly every materialisation must be served by an existing node
+OPGRAPH_TRACKERS = 2_000
+MIN_OPGRAPH_REUSE = 0.9
 #: the dedup flood must cost at least this many times the tree's N-1
 #: messages at smoke scale (it sends per known node, duplicates and all)
 MIN_FLOOD_BLOWUP = 10
@@ -260,6 +269,36 @@ def main() -> int:
                 f"(>= {MIN_SHARD_WORKLOAD_RATIO}; "
                 f"{sharded_wl['wall_s']:.2f}s vs {classic_wl['wall_s']:.2f}s "
                 "wall)")
+
+    print("smoke-perf: operator-graph delivery equivalence...")
+    from tests.opgraph.scenarios import run_scenario as run_opgraph_scenario  # noqa: E402
+    indexed_run = run_opgraph_scenario(engine="indexed")
+    opgraph_run = run_opgraph_scenario(engine="opgraph")
+    ok &= check(opgraph_run["logs"] == indexed_run["logs"],
+                f"opgraph per-subscription logs entry-identical to indexed "
+                f"({indexed_run['delivered']} deliveries over "
+                f"{len(indexed_run['logs'])} subscriptions)")
+    single_opg = run_opgraph_scenario(engine="opgraph", queries=True)
+    shard_opg = run_opgraph_scenario(engine="opgraph", shards=3,
+                                     queries=True)
+    ok &= check(shard_opg["logs"] == single_opg["logs"],
+                "3-shard opgraph logs (incl. window/join/select queries) "
+                "entry-identical to single graph")
+
+    print(f"smoke-perf: operator-graph reuse at {OPGRAPH_TRACKERS} "
+          "look-alike trackers...")
+    from benchmarks.bench_perf_opgraph import measure as measure_opgraph  # noqa: E402
+    opg_wl = measure_opgraph(OPGRAPH_TRACKERS, "opgraph")
+    idx_wl = measure_opgraph(OPGRAPH_TRACKERS, "indexed")
+    ok &= check(opg_wl["delivery_digest"] == idx_wl["delivery_digest"],
+                f"opgraph workload delivery digest equals indexed "
+                f"({opg_wl['delivered']} deliveries, "
+                f"digest {opg_wl['delivery_digest'][:12]}…)")
+    reuse = opg_wl["opgraph"]["reuse_ratio"]
+    ok &= check(reuse > MIN_OPGRAPH_REUSE,
+                f"node reuse ratio {reuse:.3f} under the template pool "
+                f"(> {MIN_OPGRAPH_REUSE}; "
+                f"{opg_wl['opgraph']['nodes']:.0f} live nodes)")
 
     if not ok:
         print("smoke-perf: FAIL")

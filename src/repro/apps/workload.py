@@ -7,13 +7,22 @@ scale. The shape is configurable and everything is seeded:
 
 * **arrival process** — Poisson (exponential inter-arrival) or jittered
   uniform, split across N publisher processes so partitioned runs keep
-  each publisher's stream on its own lane;
+  each publisher's stream on its own lane; an optional **diurnal profile**
+  (``rate_profile``) modulates the Poisson rate piecewise-constantly over
+  equal slices of the arrival window (morning ramp, midday peak, night
+  trough), sampled exactly by unit-exponential area integration;
 * **heavy-tailed popularity** — publish subjects are drawn from a Zipf
   distribution over the entity population (a few entities are hot, the
-  long tail is cold), matching how context interest concentrates;
+  long tail is cold), matching how context interest concentrates; the
+  resolver query mix can be skewed the same way (``query_mix="zipf"``)
+  instead of uniform over types;
 * **subscription table** — a majority of exact ``(type, subject)``
   trackers over Zipf-sampled entities plus a few type-level monitors
   (the residual/routed shapes), sized independently of the population;
+  with ``tracker_templates > 0`` trackers instead draw from a small pool
+  of look-alike ``And(type, floor == k)`` templates with Zipf-skewed
+  popularity — the shape the operator-graph engine deduplicates, and the
+  worst case for per-subscription dispatch;
 * **churn** — subscription churn and registration/lease churn (profile
   arrivals/departures driving the resolver's delta protocol) scheduled at
   seeded times on the control lane, where shared-structure mutation is
@@ -36,9 +45,9 @@ from __future__ import annotations
 
 import itertools
 from bisect import bisect_left
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from random import Random
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.ids import GUID, GuidFactory
 from repro.core.types import TypeRegistry, TypeSpec
@@ -46,7 +55,12 @@ from repro.composition.resolver import QueryResolver
 from repro.composition.templates import TemplateRegistry
 from repro.entities.profile import EntityClass, Profile
 from repro.events.event import ContextEvent
-from repro.events.filters import AndFilter, SubjectFilter, TypeFilter
+from repro.events.filters import (
+    AndFilter,
+    AttributeFilter,
+    SubjectFilter,
+    TypeFilter,
+)
 from repro.net.message import Message
 from repro.net.transport import Network, Process
 
@@ -69,12 +83,45 @@ class WorkloadConfig:
     query_ops: int = 50           # resolver queries mixed into the run
     profile_cap: int = 20_000     # resolver provider population cap
     seed: int = 1
+    #: distinct "floor" attribute values stamped on every event; decorrelated
+    #: from the type axis so (type, floor) combinations spread evenly
+    floors: int = 8
+    #: > 0 switches trackers to template mode: each tracker is one of this
+    #: many look-alike ``And(type, floor == k)`` shapes, Zipf-popular
+    tracker_templates: int = 0
+    template_zipf_s: float = 1.1  # template-popularity skew
+    #: diurnal arrival modulation: piecewise-constant positive multipliers
+    #: over equal slices of the arrival window; empty = flat rate
+    rate_profile: Tuple[float, ...] = field(default_factory=tuple)
+    query_mix: str = "uniform"    # resolver query types: "uniform" | "zipf"
+    query_zipf_s: float = 1.2     # type-popularity skew for query_mix="zipf"
 
     def type_of(self, entity: int) -> str:
         return f"wl-type-{entity % self.types}"
 
     def subject_of(self, entity: int) -> str:
         return f"e{entity}"
+
+    def floor_of(self, entity: int) -> int:
+        # integer-divide by the type count first so floor varies within a
+        # type's population instead of aliasing the type axis
+        return (entity // self.types) % self.floors
+
+    def template_combo(self, template: int) -> Tuple[str, int]:
+        """(type name, floor) for one template rank.
+
+        Publish traffic concentrates on low ``(type, floor)`` combinations
+        (the Zipf-hot entities), so the mapping scatters template ranks with
+        a coprime stride *and reverses the axis*: popular subscription
+        shapes watch quiet combinations — the monitoring pattern, where
+        interest concentrates on things that rarely happen. This keeps
+        delivered volume bounded as the look-alike count grows; without it,
+        hot-template × hot-traffic alignment makes fan-out, not matching,
+        the dominant cost for every engine.
+        """
+        combos = self.types * self.floors
+        combo = combos - 1 - ((template * 37) % combos)
+        return f"wl-type-{combo % self.types}", combo // self.types
 
 
 class ZipfSampler:
@@ -177,12 +224,14 @@ class _Publisher(Process):
         event = ContextEvent(
             TypeSpec(config.type_of(entity), "raw",
                      config.subject_of(entity)),
-            self.published, self.guid, self.now)
+            self.published, self.guid, self.now,
+            {"floor": config.floor_of(entity)})
         target = workload.route(config.type_of(entity),
                                 config.subject_of(entity))
         self.send(target, "publish", {"event": event.to_wire(), "ack": False})
         self.published += 1
-        self.scheduler.schedule(workload.interarrival(self.rng), self._fire)
+        self.scheduler.schedule(workload.interarrival(self.rng, self.now),
+                                self._fire)
 
 
 class _Sink(Process):
@@ -225,7 +274,20 @@ class OpenLoopWorkload:
                       else lambda _type, _subject: mediator.guid)
         self.publishers: List[_Publisher] = []
         self.sinks: List[_Sink] = []
+        self.start = 0.0
         self.deadline = 0.0
+        if config.rate_profile and min(config.rate_profile) <= 0:
+            raise ValueError("rate_profile multipliers must be > 0")
+        self._template_sampler = (
+            ZipfSampler(config.tracker_templates, config.template_zipf_s)
+            if config.tracker_templates > 0 else None)
+        if config.query_mix == "zipf":
+            self._query_type_sampler: Optional[ZipfSampler] = \
+                ZipfSampler(config.types, config.query_zipf_s)
+        elif config.query_mix == "uniform":
+            self._query_type_sampler = None
+        else:
+            raise ValueError(f"unknown query mix {config.query_mix!r}")
         self.queries_ok = 0
         self.queries_failed = 0
         self.churned_subs = 0
@@ -239,8 +301,10 @@ class OpenLoopWorkload:
 
     # -- arrival process ------------------------------------------------------
 
-    def interarrival(self, rng: Random) -> float:
+    def interarrival(self, rng: Random, now: float) -> float:
         per_publisher = self.config.publish_rate / self.config.publishers
+        if self.config.rate_profile and self.config.arrival == "poisson":
+            return self._profiled_gap(rng, now, per_publisher)
         mean = 1.0 / per_publisher
         if self.config.arrival == "poisson":
             return rng.expovariate(per_publisher)
@@ -248,11 +312,43 @@ class OpenLoopWorkload:
             return rng.uniform(0.5 * mean, 1.5 * mean)
         raise ValueError(f"unknown arrival process {self.config.arrival!r}")
 
+    def _profiled_gap(self, rng: Random, now: float, base_rate: float) -> float:
+        """Next arrival under the diurnal piecewise-constant Poisson rate.
+
+        Exact sampling by area integration: draw a unit-rate exponential
+        and consume it against ``rate(t) dt`` slice by slice — the standard
+        inversion for inhomogeneous Poisson processes with step rates, so
+        the realised process is Poisson with exactly the profiled rate (no
+        thinning, no approximation at slice boundaries). Past the arrival
+        window the last slice's rate extends (publishers stop at the
+        deadline anyway).
+        """
+        profile = self.config.rate_profile
+        width = self.config.duration / len(profile)
+        area = rng.expovariate(1.0)
+        t = max(0.0, now - self.start)
+        while True:
+            index = int(t // width)
+            if index >= len(profile) - 1:
+                rate = base_rate * profile[-1]
+                t = max(t, (len(profile) - 1) * width) + area / rate
+                break
+            rate = base_rate * profile[index]
+            boundary = (index + 1) * width
+            capacity = rate * (boundary - t)
+            if area <= capacity:
+                t += area / rate
+                break
+            area -= capacity
+            t = boundary
+        return (self.start + t) - now
+
     # -- setup ----------------------------------------------------------------
 
     def install(self) -> None:
         config = self.config
-        if config.trackers > config.entities * config.tracker_cap:
+        if (self._template_sampler is None
+                and config.trackers > config.entities * config.tracker_cap):
             raise ValueError(
                 f"{config.trackers} trackers cannot fit "
                 f"{config.entities} entities at cap {config.tracker_cap}")
@@ -262,8 +358,11 @@ class OpenLoopWorkload:
             self.sinks.append(_Sink(self.guids.mint(), host,
                                     self.network, index))
         for index in range(config.trackers):
-            self._add_tracker(self._pick_tracked_entity(self._install_rng),
-                              index)
+            if self._template_sampler is not None:
+                self._add_template_tracker(self._install_rng, index)
+            else:
+                self._add_tracker(
+                    self._pick_tracked_entity(self._install_rng), index)
         for index in range(config.monitors):
             sink = self.sinks[index % len(self.sinks)]
             self.mediator.add_subscription(
@@ -274,6 +373,7 @@ class OpenLoopWorkload:
             self.publishers.append(_Publisher(self.guids.mint(), host,
                                               self.network, self, index))
         start = self.network.scheduler.now
+        self.start = start
         self.deadline = start + config.duration
         # churn and queries run on the control lane (scheduled from external
         # context), where mutating shared mediator/resolver structures is
@@ -318,6 +418,18 @@ class OpenLoopWorkload:
         self._sub_entity[subscription.sub_id] = entity
         self._tracked[entity] = self._tracked.get(entity, 0) + 1
 
+    def _add_template_tracker(self, rng: Random, index: int) -> None:
+        """One look-alike tracker drawn from the Zipf-popular template pool."""
+        type_name, floor = self.config.template_combo(
+            self._template_sampler.sample(rng))
+        sink = self.sinks[index % len(self.sinks)]
+        subscription = self.mediator.add_subscription(
+            sink.guid,
+            AndFilter([TypeFilter(type_name),
+                       AttributeFilter("floor", "==", floor)]),
+            owner="wl-tracker", replay_retained=False)
+        self._tracker_subs.append(subscription.sub_id)
+
     # -- control-lane operations ----------------------------------------------
 
     def _churn_op(self) -> None:
@@ -327,10 +439,13 @@ class OpenLoopWorkload:
             victim = self._tracker_subs.pop(
                 rng.randrange(len(self._tracker_subs)))
             self.mediator.remove_subscription(victim)
-            was_tracking = self._sub_entity.pop(victim)
-            self._tracked[was_tracking] -= 1
-            self._add_tracker(self._pick_tracked_entity(rng),
-                              len(self._tracker_subs))
+            if self._template_sampler is not None:
+                self._add_template_tracker(rng, len(self._tracker_subs))
+            else:
+                was_tracking = self._sub_entity.pop(victim)
+                self._tracked[was_tracking] -= 1
+                self._add_tracker(self._pick_tracked_entity(rng),
+                                  len(self._tracker_subs))
             self.churned_subs += 1
         if self.feed is not None and self.resolver is not None:
             departed = self.feed.deregister(rng.randrange(10**9))
@@ -341,10 +456,13 @@ class OpenLoopWorkload:
 
     def _query_op(self) -> None:
         from repro.core.errors import SCIError
+        if self._query_type_sampler is not None:
+            type_index = self._query_type_sampler.sample(self._query_rng)
+        else:
+            type_index = self._query_rng.randrange(self.config.types)
         wanted = TypeSpec(
-            self.feed.sense_type(self._query_rng.randrange(self.config.types))
-            if self.feed is not None
-            else f"wl-sense-{self._query_rng.randrange(self.config.types)}",
+            self.feed.sense_type(type_index) if self.feed is not None
+            else f"wl-sense-{type_index}",
             "raw")
         try:
             self.resolver.resolve(wanted)

@@ -5,6 +5,20 @@ published events reach the subscriber. Filters compose with And/Or/Not and
 serialise to plain dictionaries so they can travel inside messages — a
 subscription established by a remote Context Server must ship its filter to
 the mediator that evaluates it.
+
+Every filter also has a **canonical form** (:meth:`EventFilter.canonical_spec`
+/ :meth:`EventFilter.canonical_key`): nested And-of-And and Or-of-Or trees
+are flattened, children are sorted by their canonical key and exact
+duplicates dropped, and single-child conjunctions/disjunctions collapse to
+the child. Structural ``__eq__``/``__hash__`` compare canonical keys, so two
+spec-identical filters built in different construction orders — e.g.
+``And([type, subject])`` vs ``And([subject, type])`` — hash and compare
+equal. The operator-graph compiler (:mod:`repro.query.opgraph`) dedups
+shared subgraphs on these keys, and the dispatch index memoises its filter
+analysis on them. Canonicalisation never changes ``matches`` semantics:
+``to_spec()`` (the wire form) and the evaluation order of ``parts`` keep
+construction order; only the canonical view is normalised (And/Or are
+commutative, associative and idempotent over pure predicates).
 """
 
 from __future__ import annotations
@@ -20,8 +34,34 @@ class FilterError(SCIError):
     """A filter specification is malformed."""
 
 
+def spec_key(value: Any) -> str:
+    """A deterministic, order-insensitive string key for a spec value.
+
+    Dict keys are sorted, sequences keep their order, and scalars are
+    type-tagged so ``1`` / ``1.0`` / ``"1"`` / ``True`` stay distinct.
+    Non-JSON values (an exotic subject object) fall back to ``repr``,
+    which is stable within a run — enough for structural dedup.
+    """
+    if isinstance(value, dict):
+        inner = ",".join(f"{key}={spec_key(value[key])}"
+                         for key in sorted(value))
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(spec_key(item) for item in value) + "]"
+    if value is None or isinstance(value, bool):
+        return repr(value)
+    if isinstance(value, (int, float)):
+        return f"n{type(value).__name__[0]}:{value!r}"
+    if isinstance(value, str):
+        return "s:" + value
+    return f"{type(value).__name__}:{value!r}"
+
+
 class EventFilter:
     """Base class: a predicate over :class:`ContextEvent`."""
+
+    #: lazily cached canonical key (filters are immutable by convention)
+    _canonical_key: Optional[str] = None
 
     def matches(self, event: ContextEvent) -> bool:
         raise NotImplementedError
@@ -38,6 +78,37 @@ class EventFilter:
 
     def to_spec(self) -> Dict[str, Any]:
         raise NotImplementedError
+
+    # -- canonical form -------------------------------------------------------
+
+    def canonical_spec(self) -> Dict[str, Any]:
+        """The normalised spec: And/Or flattened, sorted, deduplicated.
+
+        Leaf filters are already canonical — their spec is their canonical
+        spec. Composite filters override this.
+        """
+        return self.to_spec()
+
+    def canonical_key(self) -> str:
+        """A structural hash key: equal iff the filters are spec-identical
+        up to And/Or child order, nesting and duplication."""
+        key = self._canonical_key
+        if key is None:
+            key = spec_key(self.canonical_spec())
+            self._canonical_key = key
+        return key
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventFilter):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
 
 
 class MatchAll(EventFilter):
@@ -143,6 +214,26 @@ class AttributeFilter(EventFilter):
         return {"op": "attr", "key": self.key, "cmp": self.op, "constant": self.constant}
 
 
+def _canonical_parts(composite: "EventFilter") -> List[Dict[str, Any]]:
+    """Flatten same-op nesting, canonicalise children, sort and dedupe.
+
+    ``And(And(a, b), c)`` and ``And(c, b, a)`` both normalise to the same
+    sorted child list; duplicate children (idempotence) collapse to one.
+    """
+    specs: List[Dict[str, Any]] = []
+
+    def flatten(node: EventFilter) -> None:
+        if type(node) is type(composite):
+            for part in node.parts:  # type: ignore[attr-defined]
+                flatten(part)
+        else:
+            specs.append(node.canonical_spec())
+
+    flatten(composite)
+    unique = {spec_key(spec): spec for spec in specs}
+    return [unique[key] for key in sorted(unique)]
+
+
 class AndFilter(EventFilter):
     def __init__(self, parts: List[EventFilter]):
         if not parts:
@@ -154,6 +245,12 @@ class AndFilter(EventFilter):
 
     def to_spec(self) -> Dict[str, Any]:
         return {"op": "and", "parts": [part.to_spec() for part in self.parts]}
+
+    def canonical_spec(self) -> Dict[str, Any]:
+        parts = _canonical_parts(self)
+        if len(parts) == 1:
+            return parts[0]
+        return {"op": "and", "parts": parts}
 
 
 class OrFilter(EventFilter):
@@ -168,6 +265,12 @@ class OrFilter(EventFilter):
     def to_spec(self) -> Dict[str, Any]:
         return {"op": "or", "parts": [part.to_spec() for part in self.parts]}
 
+    def canonical_spec(self) -> Dict[str, Any]:
+        parts = _canonical_parts(self)
+        if len(parts) == 1:
+            return parts[0]
+        return {"op": "or", "parts": parts}
+
 
 class NotFilter(EventFilter):
     def __init__(self, inner: EventFilter):
@@ -178,6 +281,9 @@ class NotFilter(EventFilter):
 
     def to_spec(self) -> Dict[str, Any]:
         return {"op": "not", "inner": self.inner.to_spec()}
+
+    def canonical_spec(self) -> Dict[str, Any]:
+        return {"op": "not", "inner": self.inner.canonical_spec()}
 
 
 def filter_from_spec(spec: Dict[str, Any]) -> EventFilter:

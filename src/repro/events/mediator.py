@@ -39,6 +39,19 @@ so a publish costs O(matching + residual) instead of O(all subscriptions).
 ``indexed=False`` keeps the original linear scan alive for benchmarking and
 for the equivalence property suite; both paths must deliver identical
 (subscription, event) sequences.
+
+``engine`` selects among three dispatch engines: ``"classic"`` (the naive
+linear scan, == ``indexed=False``), ``"indexed"`` (the dispatch index,
+the default) and ``"opgraph"`` — subscriptions compile into a shared
+incremental operator DAG (:mod:`repro.query.opgraph`) where structurally
+identical filters/queries share one node, so ten thousand look-alike
+subscriptions cost one predicate evaluation per publish plus fan-out.
+The opgraph engine additionally accepts continuous *queries* (windowed
+aggregates, joins, qualitative selectors) through the ``query`` entry of
+the subscribe payload; retained replay, one-time arbitration and
+``reliable=True`` sequencing compose unchanged for plain filter
+subscriptions, and delivery order stays entry-identical to the classic
+scan (proven by ``tests/opgraph``).
 """
 
 from __future__ import annotations
@@ -56,6 +69,9 @@ from repro.events.event import ContextEvent
 from repro.events.dispatch_index import DispatchIndex, analyse_filter
 from repro.events.filters import EventFilter, filter_from_spec
 from repro.events.subscription import Subscription
+from repro.query.opgraph.compile import analyse_opspec, compile_query
+from repro.query.opgraph.engine import OperatorGraph
+from repro.query.opgraph.specs import filter_op
 
 logger = logging.getLogger(__name__)
 
@@ -68,6 +84,9 @@ DEFAULT_RETAINED_CAP = 4096
 DEFAULT_ACK_TIMEOUT = 6.0
 DEFAULT_DELIVERY_RETRIES = 6
 DELIVERY_BACKOFF = 1.5
+
+#: recognised dispatch engines (see module docstring)
+ENGINES = ("classic", "indexed", "opgraph")
 
 
 @dataclass
@@ -95,13 +114,21 @@ class EventMediator(Process):
                  indexed: bool = True,
                  reliable: bool = False,
                  ack_timeout: float = DEFAULT_ACK_TIMEOUT,
-                 delivery_retries: int = DEFAULT_DELIVERY_RETRIES):
+                 delivery_retries: int = DEFAULT_DELIVERY_RETRIES,
+                 engine: Optional[str] = None):
         super().__init__(guid, host_id, network, name=f"mediator:{range_name or guid}")
         if retained_cap < 1:
             raise ValueError(f"retained_cap must be >= 1, got {retained_cap}")
+        if engine is None:
+            engine = "indexed" if indexed else "classic"
+        elif engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}, expected one of {ENGINES}")
         self.range_name = range_name
         self.retained_cap = retained_cap
-        self.indexed = indexed
+        self.engine = engine
+        #: the opgraph engine keeps the index for bridges and retained
+        #: replay; only "classic" opts into the naive linear scan
+        self.indexed = engine != "classic"
         self.reliable = reliable
         self.requests = RequestManager(
             self, default_timeout=ack_timeout, max_retries=delivery_retries,
@@ -163,6 +190,26 @@ class EventMediator(Process):
             labels=("range",))
         self.resyncs_served = 0
         self.deliveries_exhausted = 0
+        self._opgraph: Optional[OperatorGraph] = None
+        if engine == "opgraph":
+            self._opgraph = OperatorGraph(
+                self._graph_deliver, label=self.range_name or "-",
+                nodes_gauge=metrics.gauge(
+                    "mediator.opgraph.nodes",
+                    "live deduplicated operator-graph nodes",
+                    labels=("range",)),
+                reuse_counter=metrics.counter(
+                    "mediator.opgraph.reuse_hits",
+                    "operator materialisations served by an existing node",
+                    labels=("range",)),
+                evals_counter=metrics.counter(
+                    "mediator.opgraph.evals",
+                    "incremental operator evaluations on the publish path",
+                    labels=("range",)),
+                fanout_counter=metrics.counter(
+                    "mediator.opgraph.fanout",
+                    "operator-graph result deliveries fanned out to sinks",
+                    labels=("range",)))
 
     # -- direct API (used by co-located Context Server and by tests) ---------
 
@@ -173,26 +220,41 @@ class EventMediator(Process):
         one_time: bool = False,
         owner: Optional[object] = None,
         replay_retained: bool = True,
+        query: Optional[dict] = None,
     ) -> Subscription:
         """Establish a subscription; optionally replay the retained event.
 
         Replay gives a newly wired configuration its initial values (the
         paper's Figure-3 graph must produce a first path without waiting for
         Bob or John to move).
+
+        ``query`` (opgraph engine only) attaches a continuous-query plan —
+        windowed aggregates, joins, qualitative selectors — instead of the
+        plain filter; query subscriptions receive derived results, so
+        retained replay does not apply to them.
         """
+        if query is not None and self._opgraph is None:
+            raise ValueError("continuous queries require engine='opgraph'")
         subscription = Subscription(
             subscriber=subscriber,
             filter=event_filter,
             one_time=one_time,
             owner=owner,
             created_at=self.now,
+            query=query,
         )
         self._subscriptions[subscription.sub_id] = subscription
-        constraints = self._sub_index.add(subscription.sub_id, event_filter)
+        if self._opgraph is not None:
+            plan = (compile_query(query) if query is not None
+                    else filter_op(event_filter))
+            self._opgraph.attach(subscription.sub_id, plan)
+            constraints = analyse_opspec(plan)
+        else:
+            constraints = self._sub_index.add(subscription.sub_id, event_filter)
         if owner is not None:
             self._reverse_add(self._subs_by_owner, owner, subscription.sub_id)
         self._reverse_add(self._subs_by_subscriber, subscriber, subscription.sub_id)
-        if replay_retained:
+        if replay_retained and query is None:
             self._replay_retained(subscription, constraints)
             if not subscription.active:
                 self._drop_subscription(subscription)
@@ -249,6 +311,8 @@ class EventMediator(Process):
         """Remove one subscription from the store, index and reverse maps."""
         self._subscriptions.pop(subscription.sub_id, None)
         self._sub_index.remove(subscription.sub_id)
+        if self._opgraph is not None:
+            self._opgraph.detach(subscription.sub_id)
         if subscription.owner is not None:
             self._reverse_remove(self._subs_by_owner, subscription.owner,
                                  subscription.sub_id)
@@ -309,6 +373,11 @@ class EventMediator(Process):
     def _fan_out(self, event: ContextEvent, bridged: bool) -> int:
         if self.retain_events:
             self._store_retained(event)
+        if self._opgraph is not None:
+            delivered = self._opgraph.publish(event)
+            if not bridged:
+                self._forward_bridges_indexed(event)
+            return delivered
         if not self.indexed:
             return self._fan_out_naive(event, bridged)
         label = self.range_name or "-"
@@ -337,6 +406,28 @@ class EventMediator(Process):
         if residual:
             self._index_residual_counter.inc(residual, range=label)
         return delivered
+
+    def _forward_bridges_indexed(self, event: ContextEvent) -> None:
+        """Bridge forwarding through the bridge index (opgraph path)."""
+        bridge_ids, hits, residual = self._bridge_index.candidates(event)
+        for bridge_id in bridge_ids:
+            bridge = self._bridges.get(bridge_id)
+            if bridge is not None and bridge.filter.matches(event):
+                self._forward(bridge, event)
+        label = self.range_name or "-"
+        if hits:
+            self._index_hits_counter.inc(hits, range=label)
+        if residual:
+            self._index_residual_counter.inc(residual, range=label)
+
+    def _graph_deliver(self, sub_id: int, event: ContextEvent) -> None:
+        """Operator-graph sink callback: one result for one subscription."""
+        subscription = self._subscriptions.get(sub_id)
+        if subscription is None or not subscription.active:
+            return
+        self._deliver(subscription, event)
+        if not subscription.active:  # one-time: consumed by this delivery
+            self._drop_subscription(subscription)
 
     def _fan_out_naive(self, event: ContextEvent, bridged: bool) -> int:
         """The pre-index linear scan; the benchmark/property baseline."""
@@ -441,6 +532,7 @@ class EventMediator(Process):
             one_time=bool(message.payload.get("one_time")),
             owner=message.payload.get("owner"),
             replay_retained=bool(message.payload.get("replay", True)),
+            query=message.payload.get("query"),
         )
         self.reply(message, "subscribe-ack", {"sub_id": subscription.sub_id})
 
@@ -473,6 +565,11 @@ class EventMediator(Process):
         sub_id = message.payload.get("sub_id")
         subscription = self._subscriptions.get(sub_id)
         if subscription is None or not subscription.active:
+            self.reply(message, "resync-ack", {"ok": False, "sub_id": sub_id})
+            return
+        if subscription.query is not None:
+            # query subscriptions receive derived results; replaying raw
+            # retained events would mis-deliver, so resync cannot help them
             self.reply(message, "resync-ack", {"ok": False, "sub_id": sub_id})
             return
         baseline = subscription.seq
@@ -508,6 +605,12 @@ class EventMediator(Process):
             "retained_evictions": self.retained_evictions,
         }
 
+    def opgraph_stats(self) -> Dict[str, float]:
+        """Operator-graph node/reuse/eval counters (opgraph engine only)."""
+        if self._opgraph is None:
+            return {}
+        return self._opgraph.stats()
+
     def subscriptions_for(self, subscriber: GUID) -> List[Subscription]:
         bucket = self._subs_by_subscriber.get(subscriber, {})
         return [self._subscriptions[sub_id] for sub_id in bucket]
@@ -537,7 +640,13 @@ class EventMediator(Process):
     def adopt_subscription(self, subscription: Subscription) -> None:
         """Install an existing subscription (sub_id preserved, no replay)."""
         self._subscriptions[subscription.sub_id] = subscription
-        self._sub_index.add(subscription.sub_id, subscription.filter)
+        if self._opgraph is not None:
+            plan = (compile_query(subscription.query)
+                    if subscription.query is not None
+                    else filter_op(subscription.filter))
+            self._opgraph.attach(subscription.sub_id, plan)
+        else:
+            self._sub_index.add(subscription.sub_id, subscription.filter)
         if subscription.owner is not None:
             self._reverse_add(self._subs_by_owner, subscription.owner,
                               subscription.sub_id)
@@ -551,6 +660,21 @@ class EventMediator(Process):
             return None
         self._drop_subscription(subscription)
         return subscription
+
+    def opgraph_export_for(self, sub_id: int) -> Dict[str, dict]:
+        """Stateful operator-node blobs backing one subscription's plan.
+
+        Must be called *before* :meth:`release_subscription` — releasing the
+        last subscription of a plan reclaims its nodes and their state.
+        """
+        if self._opgraph is None:
+            return {}
+        return self._opgraph.export_state_for(sub_id)
+
+    def opgraph_import(self, states: Dict[str, dict]) -> None:
+        """First-wins install of migrated operator state (after adopt)."""
+        if self._opgraph is not None and states:
+            self._opgraph.import_state(states)
 
     def retained_entries(self, type_name: Optional[str] = None) -> List[tuple]:
         """``(first_retained_seq, key, event)`` tuples, local store order."""

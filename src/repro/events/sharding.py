@@ -59,6 +59,7 @@ from repro.events.mediator import (
     EventMediator,
 )
 from repro.events.subscription import Subscription
+from repro.query.opgraph.compile import analyse_opspec, compile_query
 from repro.server.shard import ShardRing
 
 logger = logging.getLogger(__name__)
@@ -133,11 +134,12 @@ class MediatorShard(EventMediator):
                  indexed: bool = True,
                  reliable: bool = False,
                  ack_timeout: float = DEFAULT_ACK_TIMEOUT,
-                 delivery_retries: int = DEFAULT_DELIVERY_RETRIES):
+                 delivery_retries: int = DEFAULT_DELIVERY_RETRIES,
+                 engine: Optional[str] = None):
         super().__init__(guid, host_id, network, range_name,
                          retained_cap=retained_cap, indexed=indexed,
                          reliable=reliable, ack_timeout=ack_timeout,
-                         delivery_retries=delivery_retries)
+                         delivery_retries=delivery_retries, engine=engine)
         self.shard_id = shard_id
         self._router_guid = router_guid
         self._ring = ring
@@ -221,11 +223,12 @@ class ShardedEventMediator(EventMediator):
                  indexed: bool = True,
                  reliable: bool = False,
                  ack_timeout: float = DEFAULT_ACK_TIMEOUT,
-                 delivery_retries: int = DEFAULT_DELIVERY_RETRIES):
+                 delivery_retries: int = DEFAULT_DELIVERY_RETRIES,
+                 engine: Optional[str] = None):
         super().__init__(guid, host_id, network, range_name,
                          retained_cap=retained_cap, indexed=indexed,
                          reliable=reliable, ack_timeout=ack_timeout,
-                         delivery_retries=delivery_retries)
+                         delivery_retries=delivery_retries, engine=engine)
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         #: the router never retains: the owner shard does
@@ -303,7 +306,7 @@ class ShardedEventMediator(EventMediator):
             bridge_interest=self._bridge_interest,
             cs_label=self.range_name or "-",
             retained_cap=self.retained_cap, indexed=self.indexed,
-            reliable=self.reliable)
+            reliable=self.reliable, engine=self.engine)
         self._shards[shard_id] = shard
         self._shard_guids[shard_id] = shard.guid
         self._ring.add(shard_id)
@@ -333,17 +336,33 @@ class ShardedEventMediator(EventMediator):
         # to the new owners by its own stale-route check
         self._retired[shard_id] = shard
 
+    @staticmethod
+    def _constraints_for(subscription: Subscription) -> FilterConstraints:
+        """Placement facts for a subscription, query-plan aware."""
+        if subscription.query is not None:
+            return analyse_opspec(compile_query(subscription.query))
+        return analyse_filter(subscription.filter)
+
     def _rebalance_from(self, shard: MediatorShard):
-        """Move every entry ``shard`` no longer owns to the current owner."""
+        """Move every entry ``shard`` no longer owns to the current owner.
+
+        Operator state (windows, join tables, selector candidates) moves
+        with the subscription: a shard-homed plan is pinned to one
+        ``(type, subject)`` key, so the releasing shard held the only copy —
+        exported *before* release reclaims the nodes, imported first-wins
+        after the adopting shard materialises them.
+        """
         moved_subs = moved_retained = 0
         for subscription in shard.subscriptions():
-            constraints = analyse_filter(subscription.filter)
+            constraints = self._constraints_for(subscription)
             owner = self._ring.owner((constraints.type_name,
                                       constraints.subject))
             if owner == shard.shard_id:
                 continue
+            states = shard.opgraph_export_for(subscription.sub_id)
             shard.release_subscription(subscription.sub_id)
             self._shards[owner].adopt_subscription(subscription)
+            self._shards[owner].opgraph_import(states)
             self._sub_home[subscription.sub_id] = owner
             moved_subs += 1
         for first_seq, key, event in shard.retained_entries():
@@ -380,20 +399,24 @@ class ShardedEventMediator(EventMediator):
         one_time: bool = False,
         owner: Optional[object] = None,
         replay_retained: bool = True,
+        query: Optional[dict] = None,
     ) -> Subscription:
-        constraints = analyse_filter(event_filter)
+        if query is not None:
+            constraints = analyse_opspec(compile_query(query))
+        else:
+            constraints = analyse_filter(event_filter)
         if constraints.type_name is not None and constraints.has_subject:
             shard_id = self._ring.owner((constraints.type_name,
                                          constraints.subject))
             subscription = self._shards[shard_id].add_subscription(
                 subscriber, event_filter, one_time=one_time, owner=owner,
-                replay_retained=replay_retained)
+                replay_retained=replay_retained, query=query)
             if subscription.active:
                 self._sub_home[subscription.sub_id] = shard_id
             return subscription
         subscription = super().add_subscription(
             subscriber, event_filter, one_time=one_time, owner=owner,
-            replay_retained=replay_retained)
+            replay_retained=replay_retained, query=query)
         if subscription.active:
             self._routed_constraints[subscription.sub_id] = constraints
             self._sub_interest.add(constraints)
@@ -551,4 +574,18 @@ class ShardedEventMediator(EventMediator):
                 stats[key] += value
         stats["shards"] = len(self._shards)
         stats["routed_subscriptions"] = len(self._subscriptions)
+        return stats
+
+    def opgraph_stats(self) -> Dict[str, float]:
+        """Router + shard operator-graph counters, summed (ratio re-derived)."""
+        stats = super().opgraph_stats()
+        if not stats:
+            return stats
+        for shard in self._shards.values():
+            for key, value in shard.opgraph_stats().items():
+                if key != "reuse_ratio":
+                    stats[key] += value
+        requested = stats["nodes_created"] + stats["reuse_hits"]
+        stats["reuse_ratio"] = (stats["reuse_hits"] / requested
+                                if requested else 0.0)
         return stats

@@ -36,6 +36,9 @@ class Subscription:
     #: last sequence number stamped on a reliable delivery for this
     #: subscription; subscribers detect silent loss as holes in the sequence
     seq: int = 0
+    #: wire-level continuous-query spec (``engine="opgraph"`` mediators
+    #: compile it into an operator plan); None for plain filter subscriptions
+    query: Optional[dict] = None
 
     def record_delivery(self) -> None:
         self.delivered += 1

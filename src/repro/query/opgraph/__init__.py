@@ -1,0 +1,37 @@
+"""Shared operator-graph continuous queries (the ``engine="opgraph"`` path).
+
+:mod:`repro.query.opgraph.specs` is the canonical plan algebra
+(filter / join-on-subject / tumbling window / qualitative select),
+:mod:`repro.query.opgraph.compile` turns wire-level query dicts into plans
+and extends the dispatch index's static analysis to whole plans, and
+:mod:`repro.query.opgraph.engine` is the deduplicated incremental DAG the
+mediator evaluates once per publish.
+"""
+
+from repro.query.opgraph.compile import (
+    analyse_opspec,
+    compile_query,
+    query_from_payload,
+)
+from repro.query.opgraph.engine import OperatorGraph
+from repro.query.opgraph.specs import (
+    OpSpec,
+    OpSpecError,
+    filter_op,
+    join_op,
+    select_op,
+    window_op,
+)
+
+__all__ = [
+    "OpSpec",
+    "OpSpecError",
+    "OperatorGraph",
+    "analyse_opspec",
+    "compile_query",
+    "filter_op",
+    "join_op",
+    "query_from_payload",
+    "select_op",
+    "window_op",
+]

@@ -1,0 +1,513 @@
+"""The shared incremental operator graph behind ``engine="opgraph"``.
+
+One :class:`OperatorGraph` per mediator. Subscriptions attach a compiled
+plan (:class:`~repro.query.opgraph.specs.OpSpec`); the graph materialises
+one node per **canonical key**, so the ten-thousandth "location of anyone
+on floor 3" subscription adds a sink entry to an existing node instead of
+a ten-thousandth predicate evaluation per publish. Each publish then costs
+one top-down incremental evaluation — candidate filter roots found through
+the same :class:`~repro.events.dispatch_index.DispatchIndex` machinery the
+indexed mediator uses, but over *nodes* instead of subscriptions — plus
+pure fan-out of results to sinks.
+
+Invariants the tests lean on:
+
+* **Refcounts are walk counts.** ``attach`` bumps every node once per
+  occurrence in the plan's pre-order walk; ``detach`` decrements along the
+  identical walk, so counts return to zero exactly when the last plan
+  using a node detaches, and the node (plus its dispatch-index root entry
+  and window registration) is reclaimed.
+* **Delivery order matches the classic mediator.** Emissions are buffered
+  per publish and stable-sorted by ``sub_id`` before the deliver callback
+  runs. Plain filter plans produce at most one emission per (publish,
+  subscription); ascending ``sub_id`` is exactly the order the naive
+  insertion-ordered scan delivers in — the differential harness and the
+  Hypothesis property assert entry-identical logs.
+* **Windows close on the event clock.** Tumbling windows align to the
+  absolute sim-time grid (window *k* = ``[k·width, (k+1)·width)``); every
+  publish first advances all window nodes to the event's timestamp, so a
+  window's aggregate is emitted by the first publish at-or-after its end
+  — deterministically, with no timers to race messages. An event exactly
+  on a boundary closes the old window *before* it is added, landing in
+  the new one.
+* **Stateful nodes migrate whole.** A node whose plan is pinned to one
+  ``(type, subject)`` key only ever sees events of that key (the sharded
+  router sends each key's publishes to one owner shard), so
+  ``export_state_for``/``import_state`` can move window/join/select state
+  with a rebalanced subscription; import is first-wins — a node that has
+  already seen traffic or an earlier import keeps what it has.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.ids import GUID
+from repro.core.types import TypeSpec
+from repro.events.dispatch_index import DispatchIndex
+from repro.events.event import ContextEvent
+from repro.query.opgraph.specs import OpSpec
+
+#: deliver callback: (sub_id, event) -> None
+DeliverFn = Callable[[int, ContextEvent], None]
+
+
+def _subject_token(subject: object) -> str:
+    """A total-order token over subjects (mixed types compare as strings)."""
+    return f"{type(subject).__name__}:{subject!r}"
+
+
+class _Node:
+    """One materialised operator; shared by every plan with its key."""
+
+    __slots__ = ("key", "node_id", "spec", "refs", "parents", "children",
+                 "sinks", "touched")
+
+    #: stateful nodes participate in export_state/import_state
+    stateful = False
+
+    def __init__(self, key: str, node_id: int, spec: OpSpec):
+        self.key = key
+        self.node_id = node_id
+        self.spec = spec
+        self.refs = 0
+        #: downstream consumers: (node, input port) — registered on child
+        #: creation of the *parent*, removed when the parent is reclaimed
+        self.parents: List[Tuple["_Node", int]] = []
+        self.children: List["_Node"] = []
+        #: sub_id -> None; subscriptions whose plan terminates here
+        self.sinks: Dict[int, None] = {}
+        self.touched = False
+
+    def process(self, event: ContextEvent, port: int,
+                emit: Callable[[ContextEvent], None]) -> None:
+        raise NotImplementedError
+
+    def export_state(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def import_state(self, state: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+
+class _FilterNode(_Node):
+    """A leaf; evaluated by the graph against raw publishes, not process()."""
+
+    __slots__ = ()
+
+
+class _JoinNode(_Node):
+    """Join-on-subject: latest event per subject from each side."""
+
+    __slots__ = ("_left", "_right")
+    stateful = True
+
+    def __init__(self, key: str, node_id: int, spec: OpSpec):
+        super().__init__(key, node_id, spec)
+        self._left: Dict[object, ContextEvent] = {}
+        self._right: Dict[object, ContextEvent] = {}
+
+    def process(self, event, port, emit):
+        subject = event.subject
+        try:
+            hash(subject)
+        except TypeError:
+            return  # unjoinable subject: no pairing possible
+        self.touched = True
+        mine = self._left if port == 0 else self._right
+        other = self._right if port == 0 else self._left
+        mine[subject] = event
+        match = other.get(subject)
+        if match is None:
+            return
+        left = event if port == 0 else match
+        right = match if port == 0 else event
+        emit(ContextEvent(
+            TypeSpec("opgraph-join", "pair", subject),
+            {"left": left.value, "right": right.value},
+            event.source, event.timestamp,
+            {"left_type": left.type_name, "right_type": right.type_name,
+             "left_timestamp": left.timestamp,
+             "right_timestamp": right.timestamp}))
+
+    def export_state(self):
+        return {"left": [item.to_wire() for item in self._left.values()],
+                "right": [item.to_wire() for item in self._right.values()]}
+
+    def import_state(self, state):
+        self.touched = True
+        for wire in state["left"]:
+            event = ContextEvent.from_wire(wire)
+            self._left[event.subject] = event
+        for wire in state["right"]:
+            event = ContextEvent.from_wire(wire)
+            self._right[event.subject] = event
+
+
+class _WindowNode(_Node):
+    """Tumbling count/avg aggregate on the absolute sim-time grid."""
+
+    __slots__ = ("agg", "width", "value_key", "emit_empty",
+                 "_index", "_count", "_sum", "_source")
+    stateful = True
+
+    def __init__(self, key: str, node_id: int, spec: OpSpec):
+        super().__init__(key, node_id, spec)
+        params = dict(spec.params)
+        self.agg = params["agg"]
+        self.width = float(params["width"].split(":", 1)[1])
+        self.value_key = params["key"]
+        self.emit_empty = params["emit_empty"] == "True"
+        self._index: Optional[int] = None  # open window; None until touched
+        self._count = 0
+        self._sum = 0.0
+        self._source: Optional[GUID] = None
+
+    def roll(self, now: float) -> List[ContextEvent]:
+        """Close every window whose end is at or before ``now``."""
+        if self._index is None:
+            return []
+        outputs: List[ContextEvent] = []
+        current = int(now // self.width)
+        while self._index < current:
+            closed = self._close(self._index)
+            if closed is not None:
+                outputs.append(closed)
+            self._index += 1
+        return outputs
+
+    def _close(self, index: int) -> Optional[ContextEvent]:
+        count, total = self._count, self._sum
+        self._count, self._sum = 0, 0.0
+        if count == 0 and not self.emit_empty:
+            return None
+        if self.agg == "count":
+            value: object = count
+        else:
+            value = total / count if count else None
+        end = (index + 1) * self.width
+        return ContextEvent(
+            TypeSpec(f"opgraph-window-{self.agg}", "aggregate"),
+            value, self._source, end,
+            {"window_start": index * self.width, "window_end": end,
+             "count": count, "key": self.value_key})
+
+    def process(self, event, port, emit):
+        # the graph already rolled to the publish timestamp before any root
+        # fired, so a boundary event's old window is closed by now and the
+        # event lands in the fresh one
+        self.touched = True
+        self._source = event.source
+        if self._index is None:
+            self._index = int(event.timestamp // self.width)
+        if self.agg == "count":
+            self._count += 1
+            return
+        if self.value_key == "value":
+            sample = event.value
+        else:
+            sample = event.attributes.get(self.value_key)
+        if isinstance(sample, (int, float)) and not isinstance(sample, bool):
+            self._count += 1
+            self._sum += sample
+        # non-numeric / missing samples contribute nothing to an average
+
+    def export_state(self):
+        return {"index": self._index, "count": self._count, "sum": self._sum,
+                "source": None if self._source is None else self._source.hex}
+
+    def import_state(self, state):
+        self.touched = True
+        self._index = state["index"]
+        self._count = state["count"]
+        self._sum = state["sum"]
+        if state["source"] is not None:
+            self._source = GUID.from_hex(state["source"])
+
+
+class _SelectNode(_Node):
+    """Qualitative min/max-by-attribute selector over latest-per-subject.
+
+    Re-emits the winning *upstream event* whenever the winner changes —
+    subject or key value — so a subscriber always holds the current best
+    candidate ("closest free printer with no queue"). Subjects whose latest
+    event fails the ``where`` predicate, or lacks the key, leave the race.
+    Ties on the key value break on a deterministic subject token.
+    """
+
+    __slots__ = ("mode", "select_key", "where", "_candidates", "_winner")
+    stateful = True
+
+    def __init__(self, key: str, node_id: int, spec: OpSpec):
+        super().__init__(key, node_id, spec)
+        params = dict(spec.params)
+        self.mode = params["mode"]
+        self.select_key = params["key"]
+        self.where = spec.where
+        #: subject -> (key value, latest event)
+        self._candidates: Dict[object, Tuple[object, ContextEvent]] = {}
+        #: (subject token, key value) of the last emitted winner
+        self._winner: Optional[Tuple[str, object]] = None
+
+    def process(self, event, port, emit):
+        subject = event.subject
+        try:
+            hash(subject)
+        except TypeError:
+            return  # cannot track an unhashable contender
+        self.touched = True
+        if self.select_key == "value":
+            ranked: object = event.value
+        else:
+            ranked = event.attributes.get(self.select_key)
+        eligible = ranked is not None and (
+            self.where is None or self.where.matches(event))
+        if eligible:
+            self._candidates[subject] = (ranked, event)
+        else:
+            self._candidates.pop(subject, None)
+        self._refresh(emit)
+
+    def _refresh(self, emit):
+        best: Optional[Tuple[object, str, ContextEvent]] = None
+        for subject, (ranked, event) in self._candidates.items():
+            token = _subject_token(subject)
+            if best is None:
+                best = (ranked, token, event)
+                continue
+            try:
+                if ranked == best[0]:
+                    better = token < best[1]
+                elif self.mode == "min":
+                    better = ranked < best[0]
+                else:
+                    better = ranked > best[0]
+            except TypeError:
+                continue  # incomparable with the current best: skip
+            if better:
+                best = (ranked, token, event)
+        if best is None:
+            self._winner = None  # nobody qualifies; nothing to emit
+            return
+        signature = (best[1], best[0])
+        if signature != self._winner:
+            self._winner = signature
+            emit(best[2])
+
+    def export_state(self):
+        return {
+            "events": [event.to_wire()
+                       for _, event in self._candidates.values()],
+            "winner": self._winner,
+        }
+
+    def import_state(self, state):
+        self.touched = True
+        for wire in state["events"]:
+            event = ContextEvent.from_wire(wire)
+            if self.select_key == "value":
+                ranked: object = event.value
+            else:
+                ranked = event.attributes.get(self.select_key)
+            self._candidates[event.subject] = (ranked, event)
+        winner = state["winner"]
+        self._winner = None if winner is None else tuple(winner)
+
+
+_NODE_CLASSES = {
+    "filter": _FilterNode,
+    "join": _JoinNode,
+    "window": _WindowNode,
+    "select": _SelectNode,
+}
+
+
+class OperatorGraph:
+    """Deduplicated incremental DAG evaluated once per publish."""
+
+    def __init__(self, deliver: DeliverFn, label: str = "-",
+                 nodes_gauge=None, reuse_counter=None, evals_counter=None,
+                 fanout_counter=None):
+        self._deliver = deliver
+        self._label = label
+        self._nodes_gauge = nodes_gauge
+        self._reuse_counter = reuse_counter
+        self._evals_counter = evals_counter
+        self._fanout_counter = fanout_counter
+        #: canonical key -> live node (the dedup table)
+        self._nodes: Dict[str, _Node] = {}
+        #: node_id -> filter leaf, for dispatch-index candidate lookups
+        self._roots: Dict[int, _FilterNode] = {}
+        #: canonical key -> window node, rolled on every publish
+        self._windows: Dict[str, _WindowNode] = {}
+        #: sub_id -> attached plan (detach walks the same spec tree)
+        self._plans: Dict[int, OpSpec] = {}
+        self._root_index = DispatchIndex()
+        self._next_node_id = 1
+        # plain-int mirrors of the mediator.opgraph.* metrics, for callers
+        # without a registry (tests, benches) and for stats()
+        self.nodes_created = 0
+        self.reuse_hits = 0
+        self.evals = 0
+        self.fanout = 0
+
+    # -- attach / detach ------------------------------------------------------
+
+    def attach(self, sub_id: int, plan: OpSpec) -> None:
+        """Materialise ``plan`` (sharing existing nodes) and add the sink."""
+        if sub_id in self._plans:
+            self.detach(sub_id)
+        node = self._materialise(plan)
+        node.sinks[sub_id] = None
+        self._plans[sub_id] = plan
+        if self._nodes_gauge is not None:
+            self._nodes_gauge.set(len(self._nodes), range=self._label)
+
+    def detach(self, sub_id: int) -> bool:
+        """Drop the sink and release one walk's worth of refcounts."""
+        plan = self._plans.pop(sub_id, None)
+        if plan is None:
+            return False
+        self._nodes[plan.canonical_key()].sinks.pop(sub_id, None)
+        for spec in plan.walk():
+            node = self._nodes[spec.canonical_key()]
+            node.refs -= 1
+            if node.refs == 0:
+                self._reclaim(node)
+        if self._nodes_gauge is not None:
+            self._nodes_gauge.set(len(self._nodes), range=self._label)
+        return True
+
+    def _materialise(self, spec: OpSpec) -> _Node:
+        key = spec.canonical_key()
+        node = self._nodes.get(key)
+        if node is not None:
+            node.refs += 1
+            self.reuse_hits += 1
+            if self._reuse_counter is not None:
+                self._reuse_counter.inc(range=self._label)
+            # keep refcounts equal to walk counts: bump the whole subtree
+            for child_spec in spec.inputs:
+                self._materialise(child_spec)
+            return node
+        children = [self._materialise(child_spec)
+                    for child_spec in spec.inputs]
+        node = _NODE_CLASSES[spec.op](key, self._next_node_id, spec)
+        self._next_node_id += 1
+        node.refs = 1
+        node.children = children
+        self._nodes[key] = node
+        for port, child in enumerate(children):
+            child.parents.append((node, port))
+        if isinstance(node, _FilterNode):
+            self._roots[node.node_id] = node
+            assert spec.filter is not None
+            self._root_index.add(node.node_id, spec.filter)
+        elif isinstance(node, _WindowNode):
+            self._windows[key] = node
+        self.nodes_created += 1
+        return node
+
+    def _reclaim(self, node: _Node) -> None:
+        del self._nodes[node.key]
+        for child in node.children:
+            child.parents = [(parent, port)
+                             for parent, port in child.parents
+                             if parent is not node]
+        if isinstance(node, _FilterNode):
+            self._roots.pop(node.node_id, None)
+            self._root_index.remove(node.node_id)
+        elif isinstance(node, _WindowNode):
+            self._windows.pop(node.key, None)
+
+    # -- evaluation -----------------------------------------------------------
+
+    def publish(self, event: ContextEvent) -> int:
+        """One incremental evaluation; returns the number of deliveries."""
+        batch: List[Tuple[int, ContextEvent]] = []
+        now = event.timestamp
+        for window in list(self._windows.values()):
+            for closed in window.roll(now):
+                self._emit(window, closed, batch)
+        node_ids, _, _ = self._root_index.candidates(event)
+        evals = 0
+        for node_id in node_ids:
+            root = self._roots.get(node_id)
+            if root is None:
+                continue
+            evals += 1
+            if root.spec.filter.matches(event):
+                self._emit(root, event, batch)
+        self.evals += evals
+        if evals and self._evals_counter is not None:
+            self._evals_counter.inc(evals, range=self._label)
+        batch.sort(key=lambda entry: entry[0])  # stable: classic sub order
+        for sub_id, out in batch:
+            self._deliver(sub_id, out)
+        count = len(batch)
+        self.fanout += count
+        if count and self._fanout_counter is not None:
+            self._fanout_counter.inc(count, range=self._label)
+        return count
+
+    def _emit(self, node: _Node, event: ContextEvent,
+              batch: List[Tuple[int, ContextEvent]]) -> None:
+        """Fan one operator output to its sinks and downstream operators."""
+        for sub_id in node.sinks:
+            batch.append((sub_id, event))
+        for parent, port in node.parents:
+            self.evals += 1
+            if self._evals_counter is not None:
+                self._evals_counter.inc(range=self._label)
+            parent.process(event, port,
+                           lambda out, parent=parent: self._emit(parent, out,
+                                                                 batch))
+
+    # -- migration ------------------------------------------------------------
+
+    def export_state_for(self, sub_id: int) -> Dict[str, Dict[str, Any]]:
+        """State blobs of every touched stateful node in one plan."""
+        plan = self._plans.get(sub_id)
+        if plan is None:
+            return {}
+        states: Dict[str, Dict[str, Any]] = {}
+        for spec in plan.walk():
+            node = self._nodes.get(spec.canonical_key())
+            if node is not None and node.stateful and node.touched:
+                states.setdefault(node.key, node.export_state())
+        return states
+
+    def import_state(self, states: Dict[str, Dict[str, Any]]) -> None:
+        """First-wins install of migrated state into untouched nodes."""
+        for key, state in states.items():
+            node = self._nodes.get(key)
+            if node is not None and node.stateful and not node.touched:
+                node.import_state(state)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def attached(self) -> int:
+        return len(self._plans)
+
+    def reuse_ratio(self) -> float:
+        """Fraction of materialisation requests served by an existing node."""
+        requested = self.nodes_created + self.reuse_hits
+        return self.reuse_hits / requested if requested else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "nodes": len(self._nodes),
+            "nodes_created": self.nodes_created,
+            "reuse_hits": self.reuse_hits,
+            "reuse_ratio": self.reuse_ratio(),
+            "evals": self.evals,
+            "fanout": self.fanout,
+            "attached": len(self._plans),
+            "filter_roots": len(self._roots),
+            "window_nodes": len(self._windows),
+        }

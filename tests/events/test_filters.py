@@ -118,3 +118,55 @@ class TestSpecRoundTrip:
             filter_from_spec({"op": "bogus"})
         with pytest.raises(FilterError):
             filter_from_spec({})
+
+
+class TestCanonicalForm:
+    def test_and_order_insensitive(self):
+        a = AndFilter([TypeFilter("location"), SubjectFilter("bob")])
+        b = AndFilter([SubjectFilter("bob"), TypeFilter("location")])
+        assert a.canonical_key() == b.canonical_key()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_nested_same_op_flattens(self):
+        nested = AndFilter([AndFilter([TypeFilter("location"),
+                                       SubjectFilter("bob")]),
+                            SourceFilter("ff")])
+        flat = AndFilter([SourceFilter("ff"), SubjectFilter("bob"),
+                          TypeFilter("location")])
+        assert nested == flat
+
+    def test_duplicate_children_collapse(self):
+        doubled = OrFilter([SubjectFilter("bob"), SubjectFilter("bob")])
+        assert doubled == SubjectFilter("bob")
+        single = AndFilter([TypeFilter("location")])
+        assert single == TypeFilter("location")
+
+    def test_and_or_remain_distinct(self):
+        parts = [TypeFilter("location"), SubjectFilter("bob")]
+        assert AndFilter(parts) != OrFilter(parts)
+        assert NotFilter(MatchAll()) != MatchAll()
+
+    def test_scalar_constants_stay_type_distinct(self):
+        assert (AttributeFilter("value", "==", 1)
+                != AttributeFilter("value", "==", True))
+        assert (AttributeFilter("value", "==", 1)
+                != AttributeFilter("value", "==", "1"))
+        # int/float compare equal as Python values but key differently
+        assert (AttributeFilter("value", "==", 1).canonical_key()
+                != AttributeFilter("value", "==", 1.0).canonical_key())
+
+    def test_canonicalisation_preserves_matching(self):
+        original = AndFilter([OrFilter([SubjectFilter("bob"),
+                                        SubjectFilter("bob"),
+                                        SubjectFilter("john")]),
+                              TypeFilter("location")])
+        rebuilt = filter_from_spec(original.canonical_spec())
+        for sample in (event(), event(subject="john"), event(subject="eve"),
+                       event(type_name="temperature")):
+            assert original.matches(sample) == rebuilt.matches(sample)
+
+    def test_wire_spec_keeps_construction_order(self):
+        ordered = AndFilter([SubjectFilter("bob"), TypeFilter("location")])
+        spec = ordered.to_spec()
+        assert [part["op"] for part in spec["parts"]] == ["subject", "type"]

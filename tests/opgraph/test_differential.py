@@ -1,0 +1,67 @@
+"""Differential equivalence: opgraph vs classic/indexed, single vs sharded.
+
+The operator-graph engine is only allowed to land if its observable
+delivery behaviour is *entry-identical* to the engines it replaces, and if
+per-shard graphs (with rebalance migrating live operator state) agree with
+one single-mediator graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.opgraph.scenarios import run_scenario
+
+
+def _filter_logs(result):
+    """Per-subscription logs for plain-filter subscriptions only."""
+    return {label: log for label, log in result["logs"].items()
+            if not label.startswith("query:")}
+
+
+def test_three_engines_identical_logs():
+    classic = run_scenario(engine="classic")
+    indexed = run_scenario(engine="indexed")
+    opgraph = run_scenario(engine="opgraph")
+    assert classic["logs"] == indexed["logs"]
+    assert classic["logs"] == opgraph["logs"]
+    assert classic["delivered"] == opgraph["delivered"]
+    assert classic["acks"] == opgraph["acks"]
+
+
+def test_opgraph_dedups_lookalike_filters():
+    result = run_scenario(engine="opgraph")
+    stats = result["opgraph"]
+    # six spec-identical look-alikes share one node: ≥5 reuse hits
+    assert stats["reuse_hits"] >= 5
+    assert stats["nodes"] <= stats["attached"]
+    assert stats["reuse_ratio"] > 0.0
+
+
+@pytest.mark.parametrize("shards", [2, 3])
+def test_sharded_opgraph_matches_single(shards):
+    single = run_scenario(engine="opgraph", shards=1, queries=True)
+    sharded = run_scenario(engine="opgraph", shards=shards, queries=True)
+    assert single["logs"] == sharded["logs"]
+    assert single["subscription_count"] == sharded["subscription_count"]
+
+
+def test_sharded_opgraph_rebalance_preserves_logs():
+    quiet = run_scenario(engine="opgraph", shards=3, queries=True,
+                         rebalance=False)
+    churned = run_scenario(engine="opgraph", shards=3, queries=True,
+                           rebalance=True)
+    assert quiet["logs"] == churned["logs"]
+
+
+def test_sharded_opgraph_matches_sharded_indexed_on_filters():
+    indexed = run_scenario(engine="indexed", shards=2)
+    opgraph = run_scenario(engine="opgraph", shards=2)
+    assert _filter_logs(indexed) == _filter_logs(opgraph)
+
+
+@pytest.mark.parametrize("seed", [7, 1234])
+def test_equivalence_holds_across_seeds(seed):
+    classic = run_scenario(engine="classic", seed=seed)
+    opgraph = run_scenario(engine="opgraph", seed=seed)
+    assert classic["logs"] == opgraph["logs"]
