@@ -1,0 +1,159 @@
+"""PERF — context-ledger append overhead on the open-loop hot path.
+
+The same :mod:`repro.apps.workload` stream the sharding benchmark uses —
+Poisson publishes, Zipf-1.1 subjects, 20k exact trackers, churn and
+query ops — runs twice per scale row on the classic mediator: once with
+the range's context ledger recording every subscribe/retain/delivery
+(``ledger=on``) and once with recording disabled (``ledger=off``, the
+``SCIConfig(ledger=False)`` ablation). Both runs share seeds, so they
+must publish AND deliver identical event counts; the only difference is
+the hash-chained append on each state change.
+
+Acceptance gate: at the 10^5-entity row the ledgered run's wall time is
+within ``MAX_OVERHEAD`` of the bare run (append overhead <= 10%). The
+row also reports entries appended, appends/sec, and the one-off cost of
+verifying every chain end-to-end. Results land in
+``results/bench_perf_ledger.txt`` and ``results/BENCH_ledger.json``.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/bench_perf_ledger.py -q -s``
+"""
+
+import json
+import pathlib
+import time
+
+from repro.apps.workload import OpenLoopWorkload, ProviderFeed, WorkloadConfig
+from repro.core.ids import GuidFactory
+from repro.core.types import TypeRegistry
+from repro.events.mediator import EventMediator
+from repro.ledger.ledger import ContextLedger
+from repro.net.transport import FixedLatency, Network
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINE_PATH = RESULTS_DIR / "BENCH_ledger.json"
+
+#: the gate: ledgered wall time / bare wall time at the top scale
+MAX_OVERHEAD = 1.10
+
+#: (entities, churn_ops, query_ops) — the PR-7 workload's scale rows
+SCALES = [
+    (10_000, 50, 50),
+    (100_000, 100, 100),
+]
+
+
+def measure(entities, churn_ops, query_ops, ledger_on,
+            duration=300.0, publish_rate=100.0, trackers=20_000):
+    """One open-loop run; returns the workload report plus ledger stats."""
+    config = WorkloadConfig(entities=entities, duration=duration,
+                            publish_rate=publish_rate, trackers=trackers,
+                            monitors=4, publishers=4, churn_ops=churn_ops,
+                            query_ops=query_ops, seed=1)
+    net = Network(latency_model=FixedLatency(1.0))
+    guids = GuidFactory(seed=5)
+    host = "wl-host-0"
+    net.ensure_host(host)
+    ledger = ContextLedger("cs:wl") if ledger_on else None
+    feed = ProviderFeed(TypeRegistry(), config)
+    resolver = feed.resolver(metrics=net.obs.metrics)
+    mediator = EventMediator(guids.mint(), host, net, range_name="wl",
+                             ledger=ledger)
+    workload = OpenLoopWorkload(net, mediator, config, resolver=resolver,
+                                feed=feed, hosts=[host])
+    workload.install()
+    start = time.perf_counter()
+    workload.run()
+    wall = time.perf_counter() - start
+    row = workload.report(wall)
+    row["entries"] = len(ledger) if ledger is not None else 0
+    if ledger is not None:
+        verify_start = time.perf_counter()
+        verified = sum(chain.verify() for chain in mediator.ledgers())
+        row["verify_s"] = time.perf_counter() - verify_start
+        assert verified == row["entries"]
+    else:
+        row["verify_s"] = 0.0
+    return row
+
+
+class TestReportLedgerPerf:
+    def test_report_append_overhead(self, report):
+        baseline = _load_baseline()
+        report("")
+        report("PERF  context-ledger append overhead, open-loop workload "
+               "(300 sim-units @ 100 publishes/unit, 20k trackers)")
+        report(f"{'entities':>9} {'ledger':>7} | {'wall s':>7} "
+               f"{'pub/s':>8} {'entries':>9} {'app/s':>9} "
+               f"{'verify s':>8} {'overhead':>8}")
+        gate_overhead = None
+        for entities, churn_ops, query_ops in SCALES:
+            rows = {}
+            for ledger_on in (False, True):
+                rows[ledger_on] = measure(entities, churn_ops, query_ops,
+                                          ledger_on)
+            for key in ("published", "delivered"):
+                counts = {row[key] for row in rows.values()}
+                assert len(counts) == 1, (
+                    f"ledger on/off disagreed on {key} at {entities} "
+                    f"entities: {counts} — recording changed behaviour")
+            for ledger_on in (False, True):
+                row = rows[ledger_on]
+                overhead = row["wall_s"] / rows[False]["wall_s"]
+                if entities == SCALES[-1][0] and ledger_on:
+                    gate_overhead = overhead
+                appends_per_s = (row["entries"] / row["wall_s"]
+                                 if row["entries"] else 0.0)
+                report(f"{entities:>9} {'on' if ledger_on else 'off':>7} | "
+                       f"{row['wall_s']:>7.2f} "
+                       f"{row['published_per_s']:>8.0f} "
+                       f"{row['entries']:>9} {appends_per_s:>9.0f} "
+                       f"{row['verify_s']:>8.3f} {overhead:>7.3f}x")
+                baseline["open_loop"].append({
+                    "ledger": ledger_on,
+                    "entities": entities,
+                    "churn_ops": churn_ops,
+                    "query_ops": query_ops,
+                    "published": row["published"],
+                    "delivered": row["delivered"],
+                    "entries": row["entries"],
+                    "wall_s": round(row["wall_s"], 3),
+                    "verify_s": round(row["verify_s"], 3),
+                    "overhead_vs_bare_same_run": round(overhead, 4),
+                })
+        report(f"  gate: ledgered wall {gate_overhead:.3f}x bare at "
+               f"{SCALES[-1][0]} entities; required <= "
+               f"{MAX_OVERHEAD:.2f}x")
+        assert gate_overhead is not None and gate_overhead <= MAX_OVERHEAD, (
+            f"ledger append overhead reached {gate_overhead:.3f}x bare "
+            f"wall time at {SCALES[-1][0]} entities; the gate is <= "
+            f"{MAX_OVERHEAD}x")
+        baseline["gate"] = {
+            "max_overhead": MAX_OVERHEAD,
+            "top_entities": SCALES[-1][0],
+            "overhead": round(gate_overhead, 4),
+            "passed": True,
+        }
+        _save_baseline(baseline)
+
+
+def _load_baseline():
+    if BASELINE_PATH.exists():
+        with open(BASELINE_PATH, encoding="utf-8") as handle:
+            document = json.load(handle)
+        return {"schema": "sci.bench.ledger/1",
+                "open_loop": [], "gate": None,
+                "previous": {"open_loop": document.get("open_loop"),
+                             "gate": document.get("gate")}}
+    return {"schema": "sci.bench.ledger/1", "open_loop": [], "gate": None}
+
+
+def _save_baseline(document):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    merged = {"schema": document["schema"]}
+    previous = document.pop("previous", {})
+    merged["open_loop"] = (document["open_loop"]
+                          or previous.get("open_loop") or [])
+    merged["gate"] = document["gate"] or previous.get("gate")
+    with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -15,6 +15,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 import smoke_analysis  # noqa: E402
 import smoke_chaos  # noqa: E402
+import smoke_ledger  # noqa: E402
 import smoke_obs  # noqa: E402
 import smoke_perf  # noqa: E402
 
@@ -22,6 +23,7 @@ GATES = (
     ("smoke-perf", smoke_perf.main),
     ("smoke-obs", smoke_obs.main),
     ("smoke-chaos", smoke_chaos.main),
+    ("smoke-ledger", smoke_ledger.main),
     ("smoke-analysis", smoke_analysis.main),
 )
 

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Ledger smoke gate: replay projection must equal the live books.
+
+One seeded SCI deployment runs a registration storm, a location
+subscription, Bob walking the building, and a sensor crash whose lease
+then expires (the PR-4 failure-detection path). The gate asserts:
+
+* **replay determinism**: projecting the full ledger reproduces the
+  live registrar / profile / retained / subscription books digest-for-
+  digest, and the ``as_of(T)`` prefix oracle matches a mid-run live
+  checkpoint captured by a scheduler callback;
+* **chain integrity**: every per-shard hash chain verifies end-to-end
+  and the per-chain totals add up to the merged stream;
+* **artefact round-trip**: the exported JSONL validates, reloads, and
+  projects to the same digest as the live books;
+* **time travel**: historical membership flips across the crash (the
+  victim is registered before, gone after) and ``explain`` links an
+  executed query's bindings back to ``register`` entries by hash.
+
+Exits non-zero on any failure, so CI can gate on it. Usage::
+
+    PYTHONPATH=src python scripts/smoke_ledger.py
+"""
+
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from repro import SCI  # noqa: E402
+from repro.core.api import SCIConfig  # noqa: E402
+from repro.ledger.ledger import load_ledger_jsonl, write_ledger_jsonl  # noqa: E402
+from repro.ledger.replay import (ReplayProjector, live_snapshot,  # noqa: E402
+                                 projection_snapshot, snapshot_digest)
+
+SEED = 8
+CHECKPOINT = 22.25  # fractional: no entry can land at the capture instant
+CRASH_AT = 25.0
+
+
+def check(condition, label):
+    status = "ok" if condition else "FAIL"
+    print(f"smoke-ledger: {status} — {label}")
+    return bool(condition)
+
+
+def run_scenario():
+    sci = SCI(config=SCIConfig(seed=SEED, lease_duration=15.0))
+    server = sci.create_range("level10", places=["L10"], hosts=["lab-pc"])
+    sci.add_door_sensors("level10")
+    sci.add_person("bob", room="corridor")
+    app = sci.create_application("pathApp", host="lab-pc")
+    sci.run(10)
+    app.submit_query(sci.query("bob")
+                     .subscribe("location", "topological", subject="bob")
+                     .build())
+
+    captured = {}
+
+    def capture():
+        captured["live"] = live_snapshot(server)
+
+    sci.scheduler.schedule_at(CHECKPOINT, capture)
+    victim = sci.door_sensors["door:corridor--L10.02"]
+    sci.scheduler.schedule_at(CRASH_AT, sci.injector.crash, victim)
+    sci.walk("bob", "L10.01")
+    sci.run_until(55)
+    return sci, server, app, captured, victim.guid.hex
+
+
+def main() -> int:
+    ok = True
+    print("smoke-ledger: seeded crash scenario with mid-run checkpoint...")
+    sci, server, app, captured, victim_hex = run_scenario()
+    entries = server.ledger_entries()
+    kinds = {entry.kind for entry in entries}
+    ok &= check(len(entries) > 0 and {"register", "delivery", "depart",
+                                      "lease-renew"} <= kinds,
+                f"scenario is non-trivial ({len(entries)} entries, "
+                f"{len(kinds)} kinds)")
+
+    live = live_snapshot(server)
+    projected = projection_snapshot(server.ledger_projection())
+    ok &= check(snapshot_digest(projected) == snapshot_digest(live),
+                "full replay projects to the live books")
+
+    replayed = projection_snapshot(server.ledger_projection(upto=CHECKPOINT))
+    ok &= check(replayed == captured["live"],
+                f"as-of prefix oracle matches the t={CHECKPOINT} checkpoint")
+
+    chains = server.ledgers()
+    verified = sum(chain.verify() for chain in chains)
+    ok &= check(verified == len(entries),
+                f"every chain verifies ({verified} entries across "
+                f"{len(chains)} chains)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "level10-ledger.jsonl"
+        count = write_ledger_jsonl(chains, path)
+        recovered = ReplayProjector.from_records(load_ledger_jsonl(path)).state
+        ok &= check(count == len(entries)
+                    and snapshot_digest(projection_snapshot(recovered))
+                    == snapshot_digest(live),
+                    f"JSONL artefact round-trips ({count} records)")
+
+    before, after = CHECKPOINT, 54.25
+    ok &= check(server.as_of(before).registered(victim_hex)
+                and not server.as_of(after).registered(victim_hex),
+                "time travel sees the victim before the crash, not after")
+    ok &= check(victim_hex in server.as_of(before).providers_of("presence")
+                and victim_hex
+                not in server.as_of(after).providers_of("presence"),
+                "historical provider lookup tracks the crash")
+
+    query = sci.query("bob").profiles_of_type("device").build()
+    app.submit_query(query)
+    sci.run(5)
+    trail = server.explain(query.query_id)
+    by_hash = {entry.entry_hash for entry in server.ledger_entries()}
+    ok &= check(trail is not None and trail["status"] == "executed"
+                and trail["bound"]
+                and all(b["register"] is not None
+                        and b["register"]["hash"] in by_hash
+                        for b in trail["bound"]),
+                "explain links every binding to a register entry by hash")
+
+    if not ok:
+        print("smoke-ledger: FAIL")
+        return 1
+    print("smoke-ledger: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,6 +73,10 @@ class SCIConfig:
     #: range mediators deliver events acknowledged/sequenced (False = the
     #: fire-and-forget ablation)
     reliable_events: bool = True
+    #: record every CS state change to the append-only context ledger
+    #: (replay, as-of reads, query explanation); False is the
+    #: no-bookkeeping ablation
+    ledger: bool = True
     #: detect SCINET node failure from missed heartbeats instead of oracle
     #: ``SCINet.fail`` calls. Opt-in: the periodic heartbeats keep the
     #: scheduler busy, so ``run_until_idle``-style workloads must not
@@ -140,6 +144,7 @@ class SCI:
             lease_duration=self.config.lease_duration,
             max_repairs_per_config=self.config.max_repairs_per_config,
             reliable_events=self.config.reliable_events,
+            ledger=self.config.ledger,
         )
         announced = sorted(set(definition.rooms(self.building)) | set(places))
         node = self.scinet.create_node(cs_host, range_name=name,

@@ -115,7 +115,8 @@ class EventMediator(Process):
                  reliable: bool = False,
                  ack_timeout: float = DEFAULT_ACK_TIMEOUT,
                  delivery_retries: int = DEFAULT_DELIVERY_RETRIES,
-                 engine: Optional[str] = None):
+                 engine: Optional[str] = None,
+                 ledger=None):
         super().__init__(guid, host_id, network, name=f"mediator:{range_name or guid}")
         if retained_cap < 1:
             raise ValueError(f"retained_cap must be >= 1, got {retained_cap}")
@@ -126,6 +127,9 @@ class EventMediator(Process):
         self.range_name = range_name
         self.retained_cap = retained_cap
         self.engine = engine
+        #: context-ledger chain this mediator appends to (a shard holds its
+        #: own rank so chains never cross scheduler lanes); None disables
+        self._ledger = ledger
         #: the opgraph engine keeps the index for bridges and retained
         #: replay; only "classic" opts into the naive linear scan
         self.indexed = engine != "classic"
@@ -244,6 +248,15 @@ class EventMediator(Process):
             query=query,
         )
         self._subscriptions[subscription.sub_id] = subscription
+        if self._ledger is not None:
+            self._ledger.append(self.now, "subscribe", {
+                "sub_id": subscription.sub_id,
+                "subscriber": subscriber.hex,
+                "filter": event_filter.to_spec(),
+                "one_time": one_time,
+                "owner": None if owner is None else str(owner),
+                "query": query,
+            })
         if self._opgraph is not None:
             plan = (compile_query(query) if query is not None
                     else filter_op(event_filter))
@@ -307,8 +320,18 @@ class EventMediator(Process):
             self._drop_subscription(subscription)
         return len(doomed)
 
-    def _drop_subscription(self, subscription: Subscription) -> None:
-        """Remove one subscription from the store, index and reverse maps."""
+    def _drop_subscription(self, subscription: Subscription,
+                           record: bool = True) -> None:
+        """Remove one subscription from the store, index and reverse maps.
+
+        ``record=False`` keeps the drop out of the ledger — shard
+        migration releases a subscription on one shard only to adopt it
+        on another, and the ledger must see the subscription as
+        continuously alive through the move.
+        """
+        if record and self._ledger is not None:
+            self._ledger.append(self.now, "unsubscribe",
+                                {"sub_id": subscription.sub_id})
         self._subscriptions.pop(subscription.sub_id, None)
         self._sub_index.remove(subscription.sub_id)
         if self._opgraph is not None:
@@ -469,14 +492,30 @@ class EventMediator(Process):
                     del self._retained_by_type[oldest_key[0]]
             self.retained_evictions += 1
             self._retained_evicted_counter.inc(range=self.range_name or "-")
+            if self._ledger is not None:
+                self._ledger.append(self.now, "retain-evict",
+                                    {"key": list(oldest_key)})
         self._retained[key] = event
         self._retained_by_type.setdefault(event.type_name, {})[key] = None
         self._retained_first.setdefault(key, event.seq)
+        if self._ledger is not None:
+            self._ledger.append(self.now, "retain", {
+                "key": list(key),
+                "first_seq": self._retained_first[key],
+                "event": event.to_wire(),
+            })
 
     def _deliver(self, subscription: Subscription, event: ContextEvent) -> None:
         subscription.record_delivery()
         self.deliveries += 1
         self._deliveries_counter.inc(range=self.range_name or "-")
+        if self._ledger is not None:
+            self._ledger.append(self.now, "delivery", {
+                "sub_id": subscription.sub_id,
+                "event_seq": event.seq,
+                "type": event.type_name,
+                "subject": event.subject,
+            })
         with self.network.obs.tracer.span_if_active(
                 "mediator.deliver", range=self.range_name,
                 type=event.type_name, sub_id=subscription.sub_id):
@@ -619,6 +658,18 @@ class EventMediator(Process):
         """Every live subscription, in insertion order."""
         return list(self._subscriptions.values())
 
+    def all_subscriptions(self) -> List[Subscription]:
+        """All subscriptions this mediator answers for (incl. shards)."""
+        return self.subscriptions()
+
+    def all_retained_entries(self) -> List[tuple]:
+        """All ``(first_seq, key, event)`` entries (merged across shards)."""
+        return self.retained_entries()
+
+    def ledgers(self) -> List:
+        """Every context-ledger chain this mediator family appends to."""
+        return [self._ledger] if self._ledger is not None else []
+
     def subscription_ids_of(self, owner: object) -> List[int]:
         """Sub ids established for ``owner`` (empty for unhashable owners)."""
         try:
@@ -658,7 +709,9 @@ class EventMediator(Process):
         subscription = self._subscriptions.get(sub_id)
         if subscription is None:
             return None
-        self._drop_subscription(subscription)
+        # record=False: the adopting shard keeps the subscription alive, so
+        # the ledger must not see a migration as an unsubscribe
+        self._drop_subscription(subscription, record=False)
         return subscription
 
     def opgraph_export_for(self, sub_id: int) -> Dict[str, dict]:

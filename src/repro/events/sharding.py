@@ -135,11 +135,13 @@ class MediatorShard(EventMediator):
                  reliable: bool = False,
                  ack_timeout: float = DEFAULT_ACK_TIMEOUT,
                  delivery_retries: int = DEFAULT_DELIVERY_RETRIES,
-                 engine: Optional[str] = None):
+                 engine: Optional[str] = None,
+                 ledger=None):
         super().__init__(guid, host_id, network, range_name,
                          retained_cap=retained_cap, indexed=indexed,
                          reliable=reliable, ack_timeout=ack_timeout,
-                         delivery_retries=delivery_retries, engine=engine)
+                         delivery_retries=delivery_retries, engine=engine,
+                         ledger=ledger)
         self.shard_id = shard_id
         self._router_guid = router_guid
         self._ring = ring
@@ -224,11 +226,13 @@ class ShardedEventMediator(EventMediator):
                  reliable: bool = False,
                  ack_timeout: float = DEFAULT_ACK_TIMEOUT,
                  delivery_retries: int = DEFAULT_DELIVERY_RETRIES,
-                 engine: Optional[str] = None):
+                 engine: Optional[str] = None,
+                 ledger=None):
         super().__init__(guid, host_id, network, range_name,
                          retained_cap=retained_cap, indexed=indexed,
                          reliable=reliable, ack_timeout=ack_timeout,
-                         delivery_retries=delivery_retries, engine=engine)
+                         delivery_retries=delivery_retries, engine=engine,
+                         ledger=ledger)
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         #: the router never retains: the owner shard does
@@ -248,6 +252,9 @@ class ShardedEventMediator(EventMediator):
         self._sub_interest = _InterestSet()
         self._bridge_interest = _InterestSet()
         self._next_shard_id = 0
+        #: every shard chain ever minted, retired shards included — their
+        #: entries stay part of the family's merged history
+        self._shard_ledgers: List = []
         metrics = network.obs.metrics
         label = ("range",)
         self._routed_counter = metrics.counter(
@@ -297,6 +304,12 @@ class ShardedEventMediator(EventMediator):
         self._next_shard_id += 1
         host = host_id or self._hosts[shard_id % len(self._hosts)]
         self.network.ensure_host(host)
+        # rank 0 is the router's (and the CS's) chain; shard ranks are
+        # 1-based so every writer appends to a chain only its own lane owns
+        shard_ledger = (self._ledger.child(shard_id + 1)
+                        if self._ledger is not None else None)
+        if shard_ledger is not None:
+            self._shard_ledgers.append(shard_ledger)
         shard = MediatorShard(
             self._factory.mint(), host, self.network,
             f"{self.range_name}#s{shard_id}" if self.range_name
@@ -306,7 +319,8 @@ class ShardedEventMediator(EventMediator):
             bridge_interest=self._bridge_interest,
             cs_label=self.range_name or "-",
             retained_cap=self.retained_cap, indexed=self.indexed,
-            reliable=self.reliable, engine=self.engine)
+            reliable=self.reliable, engine=self.engine,
+            ledger=shard_ledger)
         self._shards[shard_id] = shard
         self._shard_guids[shard_id] = shard.guid
         self._ring.add(shard_id)
@@ -422,8 +436,9 @@ class ShardedEventMediator(EventMediator):
             self._sub_interest.add(constraints)
         return subscription
 
-    def _drop_subscription(self, subscription: Subscription) -> None:
-        super()._drop_subscription(subscription)
+    def _drop_subscription(self, subscription: Subscription,
+                           record: bool = True) -> None:
+        super()._drop_subscription(subscription, record=record)
         constraints = self._routed_constraints.pop(subscription.sub_id, None)
         if constraints is not None:
             self._sub_interest.remove(constraints)
@@ -566,6 +581,24 @@ class ShardedEventMediator(EventMediator):
         for shard in self._shards.values():
             found.extend(shard.subscriptions_for(subscriber))
         return found
+
+    def all_subscriptions(self) -> List[Subscription]:
+        found = self.subscriptions()
+        for shard in self._shards.values():
+            found.extend(shard.subscriptions())
+        return found
+
+    def all_retained_entries(self) -> List[tuple]:
+        entries: List[tuple] = []
+        for shard in self._shards.values():
+            entries.extend(shard.retained_entries())
+        return entries
+
+    def ledgers(self) -> List:
+        """Root chain plus every shard chain ever minted, rank order."""
+        chains = super().ledgers()
+        chains.extend(self._shard_ledgers)
+        return chains
 
     def index_stats(self) -> Dict[str, int]:
         stats = super().index_stats()

@@ -1,0 +1,53 @@
+"""repro.ledger — the append-only context ledger (ROADMAP item 4).
+
+Every mutation of a Context Server's books — registrations, lease
+renewals, departures, profile changes, subscription changes, retained
+updates, event deliveries and query lifecycle steps — is recorded as a
+hash-chained :class:`~repro.ledger.ledger.LedgerEntry`. Context becomes a
+replayable projection of the entry stream (``context = reachable ∩
+live``) instead of opaque in-place state, which unlocks:
+
+* **audit / explain** — :func:`~repro.ledger.timetravel.explain_query`
+  links a query's binding back to the exact entries that produced it;
+* **crash recovery by replay** —
+  :class:`~repro.ledger.replay.ReplayProjector` rebuilds registrar,
+  profile-manager and mediator-retained state from any prefix;
+* **historical queries** — :class:`~repro.ledger.timetravel.AsOfView`
+  runs the resolver against the projected state at time T, giving the
+  paper's Figure-6 **When** section past-tense semantics.
+"""
+
+from repro.ledger.ledger import (
+    ContextLedger,
+    LedgerEntry,
+    LedgerError,
+    LEDGER_SCHEMA,
+    load_ledger_jsonl,
+    merge_entries,
+    write_ledger_jsonl,
+)
+from repro.ledger.replay import (
+    ProjectedState,
+    ReplayProjector,
+    live_snapshot,
+    projection_snapshot,
+    snapshot_digest,
+)
+from repro.ledger.timetravel import AsOfView, explain_query
+
+__all__ = [
+    "AsOfView",
+    "ContextLedger",
+    "LedgerEntry",
+    "LedgerError",
+    "LEDGER_SCHEMA",
+    "ProjectedState",
+    "ReplayProjector",
+    "explain_query",
+    "live_snapshot",
+    "load_ledger_jsonl",
+    "merge_entries",
+    "projection_snapshot",
+    "snapshot_digest",
+    "write_ledger_jsonl",
+]

@@ -1,0 +1,318 @@
+"""Hash-chained append-only ledgers and their JSONL artefact format.
+
+Modelled on the Brain_Garden HO2 Context Authority spec (SNIPPETS.md
+snippet 1): immutable append-only source ledgers, hash-stable entry
+references ``(ledger_id, entry_id, entry_hash)``, and the determinism
+contract *same inputs ⇒ identical projection*.
+
+One :class:`ContextLedger` is one chain. A sharded Context Server keeps a
+family of chains — a rank-0 root ledger for the Registrar, Profile
+Manager, router and query lifecycle (all on the CS host's scheduler lane)
+plus one child per mediator shard (each appended to only from its own
+lane, so chains never interleave across partitions). The merged view
+orders entries by ``(sim_time, shard_rank, seq)``; chain verification is
+always per-chain.
+
+Payloads must be JSON-serialisable: the hash is computed over the
+canonical JSON encoding, so the chain commits to exactly what the JSONL
+export round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from hashlib import blake2b
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+#: artefact format marker; bump on incompatible changes
+LEDGER_SCHEMA = "sci.ledger/1"
+
+#: the chain anchor every rank starts from
+GENESIS_HASH = "0" * 32
+
+#: every kind a ledger entry may carry (closed set; the validator and the
+#: replay projector both dispatch on it)
+ENTRY_KINDS = (
+    "register",        # registrar: a component (re-)registered
+    "lease-renew",     # registrar: heartbeat renewed a lease
+    "depart",          # registrar: deregistration / eviction / expulsion
+    "profile-add",     # profile manager: profile (re-)stored
+    "profile-remove",  # profile manager: profile dropped
+    "profile-update",  # profile manager: attribute patch applied
+    "subscribe",       # mediator: subscription established
+    "unsubscribe",     # mediator: subscription torn down
+    "retain",          # mediator: retained entry stored/updated
+    "retain-evict",    # mediator: retained entry dropped by the cap
+    "delivery",        # mediator: one event delivered to one subscription
+    "query",           # context server: query lifecycle step
+)
+
+
+class LedgerError(ValueError):
+    """A broken chain, an invalid entry, or a malformed JSONL artefact."""
+
+
+def _canonical(payload: Any) -> str:
+    """The canonical JSON encoding the hash commits to."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=repr)
+
+
+def entry_hash(prev_hash: str, shard_rank: int, seq: int, sim_time: float,
+               kind: str, payload: Dict[str, Any]) -> str:
+    """blake2b over the previous hash plus the entry's canonical body."""
+    body = _canonical([shard_rank, seq, sim_time, kind, payload])
+    return blake2b((prev_hash + body).encode("utf-8"),
+                   digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One immutable, hash-chained record."""
+
+    ledger_id: str
+    shard_rank: int
+    seq: int
+    sim_time: float
+    kind: str
+    payload: Dict[str, Any]
+    prev_hash: str
+    entry_hash: str
+
+    @property
+    def entry_id(self) -> str:
+        """Stable position within the ledger family: ``rank:seq``."""
+        return f"{self.shard_rank}:{self.seq}"
+
+    def ref(self) -> Dict[str, str]:
+        """A hash-stable reference another document can safely hold."""
+        return {"ledger": self.ledger_id, "entry": self.entry_id,
+                "hash": self.entry_hash}
+
+    def to_record(self) -> Dict[str, Any]:
+        """The JSONL line form (see :func:`write_ledger_jsonl`)."""
+        return {
+            "schema": LEDGER_SCHEMA,
+            "ledger": self.ledger_id,
+            "shard": self.shard_rank,
+            "seq": self.seq,
+            "time": self.sim_time,
+            "kind": self.kind,
+            "payload": self.payload,
+            "prev": self.prev_hash,
+            "hash": self.entry_hash,
+        }
+
+
+class ContextLedger:
+    """One append-only chain of :class:`LedgerEntry` records.
+
+    ``child(rank)`` mints sibling chains sharing the ledger id — one per
+    mediator shard — whose entries interleave with the root's only in the
+    merged view, never in the chains themselves.
+
+    Appends are group-committed: :meth:`append` records the entry body in
+    O(1) and the hash chain is sealed in batch on the first read
+    (:attr:`head`, :meth:`entries`, :meth:`verify`). The chain is a pure
+    function of the body sequence, so where the sealing points fall never
+    changes a single hash — it only keeps the canonical-JSON + blake2b
+    work off the event-dispatch hot path.
+    """
+
+    def __init__(self, ledger_id: str, shard_rank: int = 0,
+                 metrics=None, range_name: str = ""):
+        self.ledger_id = ledger_id
+        self.shard_rank = shard_rank
+        self.range_name = range_name
+        self._entries: List[LedgerEntry] = []
+        #: appended but not yet hashed: (sim_time, kind, payload) bodies
+        self._unsealed: List[tuple] = []
+        self._metrics = metrics
+        self._appends_counter = None
+        if metrics is not None:
+            self._appends_counter = metrics.counter(
+                "cs.ledger.appends",
+                "ledger entries appended, by entry kind",
+                labels=("range", "kind"))
+
+    # -- append path ----------------------------------------------------------
+
+    @property
+    def head(self) -> str:
+        self._seal()
+        return self._entries[-1].entry_hash if self._entries else GENESIS_HASH
+
+    def __len__(self) -> int:
+        return len(self._entries) + len(self._unsealed)
+
+    def append(self, sim_time: float, kind: str,
+               payload: Dict[str, Any]) -> None:
+        if kind not in ENTRY_KINDS:
+            raise LedgerError(f"unknown entry kind {kind!r}")
+        self._unsealed.append((sim_time, kind, payload))
+        if self._appends_counter is not None:
+            self._appends_counter.inc(range=self.range_name or "-", kind=kind)
+
+    def _seal(self) -> None:
+        """Extend the hash chain over every body appended since last seal."""
+        if not self._unsealed:
+            return
+        bodies, self._unsealed = self._unsealed, []
+        prev = self._entries[-1].entry_hash if self._entries else GENESIS_HASH
+        for sim_time, kind, payload in bodies:
+            seq = len(self._entries)
+            entry = LedgerEntry(
+                ledger_id=self.ledger_id,
+                shard_rank=self.shard_rank,
+                seq=seq,
+                sim_time=sim_time,
+                kind=kind,
+                payload=payload,
+                prev_hash=prev,
+                entry_hash=entry_hash(prev, self.shard_rank, seq, sim_time,
+                                      kind, payload),
+            )
+            self._entries.append(entry)
+            prev = entry.entry_hash
+
+    def child(self, shard_rank: int) -> "ContextLedger":
+        """A sibling chain for one mediator shard (same ledger id)."""
+        return ContextLedger(self.ledger_id, shard_rank=shard_rank,
+                             metrics=self._metrics,
+                             range_name=self.range_name)
+
+    # -- read path ------------------------------------------------------------
+
+    def entries(self, upto: Optional[float] = None) -> List[LedgerEntry]:
+        """This chain's entries, optionally only those with time <= upto."""
+        self._seal()
+        if upto is None:
+            return list(self._entries)
+        return [entry for entry in self._entries if entry.sim_time <= upto]
+
+    def entry(self, seq: int) -> LedgerEntry:
+        self._seal()
+        return self._entries[seq]
+
+    def verify(self) -> int:
+        """Recompute the whole chain; returns its length, raises on break."""
+        self._seal()
+        prev = GENESIS_HASH
+        for index, entry in enumerate(self._entries):
+            if entry.seq != index:
+                raise LedgerError(
+                    f"{self.ledger_id}[{self.shard_rank}]: entry {index} "
+                    f"carries seq {entry.seq}")
+            if entry.prev_hash != prev:
+                raise LedgerError(
+                    f"{self.ledger_id}[{self.shard_rank}]: entry {index} "
+                    f"prev-hash mismatch")
+            expected = entry_hash(prev, entry.shard_rank, entry.seq,
+                                  entry.sim_time, entry.kind, entry.payload)
+            if entry.entry_hash != expected:
+                raise LedgerError(
+                    f"{self.ledger_id}[{self.shard_rank}]: entry {index} "
+                    f"hash mismatch (tampered payload?)")
+            prev = entry.entry_hash
+        return len(self._entries)
+
+
+def merge_entries(ledgers: Iterable[ContextLedger],
+                  upto: Optional[float] = None) -> List[LedgerEntry]:
+    """The family-wide total order: sorted by ``(sim_time, rank, seq)``.
+
+    Chains are append-ordered in both time and seq, so this sort is a
+    stable k-way merge; ties at one sim-time are broken by rank (the root
+    ledger first), which is deterministic because distinct writers never
+    share a rank.
+    """
+    merged: List[LedgerEntry] = []
+    for ledger in ledgers:
+        merged.extend(ledger.entries(upto))
+    merged.sort(key=lambda entry: (entry.sim_time, entry.shard_rank,
+                                   entry.seq))
+    return merged
+
+
+# -- JSONL artefact -----------------------------------------------------------
+
+
+def write_ledger_jsonl(ledgers: Iterable[ContextLedger],
+                       path: Union[str, Path]) -> int:
+    """Write a ledger family as one validated JSONL artefact.
+
+    One line per entry, whole-family merge order. Returns the line count.
+    """
+    records = [entry.to_record() for entry in merge_entries(ledgers)]
+    for index, record in enumerate(records):
+        _validate_record(f"line {index + 1}", record)
+    _verify_record_chains(records)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+def load_ledger_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read a ledger artefact back, re-validating chains before returning."""
+    records = []
+    for number, line in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines(), start=1):
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        _validate_record(f"line {number}", record)
+        records.append(record)
+    _verify_record_chains(records)
+    return records
+
+
+def _fail(where: str, problem: str) -> None:
+    raise LedgerError(f"{where}: {problem}")
+
+
+def _validate_record(where: str, record: Any) -> None:
+    """Structural validation of one JSONL line (hand-rolled, like obs)."""
+    if not isinstance(record, dict):
+        _fail(where, f"record must be an object, got {type(record).__name__}")
+    if record.get("schema") != LEDGER_SCHEMA:
+        _fail(where, f"schema must be {LEDGER_SCHEMA!r}, "
+              f"got {record.get('schema')!r}")
+    if not isinstance(record.get("ledger"), str) or not record["ledger"]:
+        _fail(where, "missing non-empty 'ledger' id")
+    for field in ("shard", "seq"):
+        value = record.get(field)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            _fail(where, f"{field!r} must be a non-negative integer")
+    if not isinstance(record.get("time"), (int, float)):
+        _fail(where, "'time' must be a number")
+    if record.get("kind") not in ENTRY_KINDS:
+        _fail(where, f"unknown entry kind {record.get('kind')!r}")
+    if not isinstance(record.get("payload"), dict):
+        _fail(where, "'payload' must be an object")
+    for field in ("prev", "hash"):
+        if not isinstance(record.get(field), str) or not record[field]:
+            _fail(where, f"missing non-empty {field!r}")
+
+
+def _verify_record_chains(records: List[Dict[str, Any]]) -> None:
+    """Recompute every per-(ledger, shard) chain across exported lines."""
+    heads: Dict[tuple, tuple] = {}  # (ledger, shard) -> (next seq, head hash)
+    for record in records:
+        key = (record["ledger"], record["shard"])
+        next_seq, head = heads.get(key, (0, GENESIS_HASH))
+        where = f"{key[0]}[{key[1]}] seq {record['seq']}"
+        if record["seq"] != next_seq:
+            _fail(where, f"non-contiguous seq (expected {next_seq})")
+        if record["prev"] != head:
+            _fail(where, "prev-hash does not match the chain head")
+        expected = entry_hash(head, record["shard"], record["seq"],
+                              record["time"], record["kind"],
+                              record["payload"])
+        if record["hash"] != expected:
+            _fail(where, "entry hash does not recompute")
+        heads[key] = (next_seq + 1, record["hash"])

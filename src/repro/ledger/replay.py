@@ -1,0 +1,267 @@
+"""Replaying a ledger prefix back into Context Server state.
+
+The determinism contract (Brain_Garden HO2): projecting the same entry
+prefix always yields the same state, and that state equals what the live
+mutable components hold at the moment the prefix ends. The differential
+harness (``tests/ledger``) and the Hypothesis property assert exactly
+this, snapshot-for-snapshot, across shard and partition counts.
+
+Authority split — who rebuilds what:
+
+* ``register`` / ``lease-renew`` / ``depart`` (Registrar's chain) rebuild
+  the **membership view**: who is in the range, their kind, host and
+  current lease. Profile *contents* are deliberately out of scope here —
+  attributes mutate after registration.
+* ``profile-add`` / ``profile-remove`` / ``profile-update`` (Profile
+  Manager's chain) rebuild the **profile view** independently, so
+  attribute patches replay without any aliasing between the registrar's
+  records and the profile store.
+* ``subscribe`` / ``unsubscribe`` / ``delivery`` / ``retain`` /
+  ``retain-evict`` (mediator chains) rebuild subscriptions, per-
+  subscription delivery counts and the retained store. Shard migration is
+  invisible by construction: adopt/release during rebalance is never
+  logged, and the retained view keys on ``(type, representation,
+  subject)`` with the first-retained seq stamp, which is invariant under
+  ownership moves.
+
+Crash recovery: :meth:`ReplayProjector.from_records` replays an exported
+JSONL artefact (``load_ledger_jsonl``), so a range whose server died can
+rebuild its books from the durable ledger alone — the same path lease
+expiry (PR 4's failure-detection story) already exercises while the
+server is up.
+"""
+
+from __future__ import annotations
+
+import copy
+from hashlib import blake2b
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.ledger.ledger import LedgerEntry, _canonical
+
+
+class ProjectedState:
+    """The rebuilt books: membership, profiles, retained, subscriptions."""
+
+    def __init__(self):
+        #: entity hex -> membership record (see snapshot shape below)
+        self.records: Dict[str, Dict[str, Any]] = {}
+        #: entity hex -> {"profile": wire, "advertisements": [wire, ...]}
+        self.profiles: Dict[str, Dict[str, Any]] = {}
+        #: (type, representation, subject) -> {"first_seq", "event"}
+        self.retained: Dict[tuple, Dict[str, Any]] = {}
+        #: sub_id -> subscription facts + live delivery count
+        self.subscriptions: Dict[int, Dict[str, Any]] = {}
+        #: query_id -> lifecycle payloads in ledger order (feeds explain)
+        self.queries: Dict[str, List[Dict[str, Any]]] = {}
+        self.entries_applied = 0
+
+
+class ReplayProjector:
+    """Folds ledger entries into a :class:`ProjectedState`."""
+
+    def __init__(self):
+        self.state = ProjectedState()
+
+    @classmethod
+    def from_entries(cls, entries: Iterable[LedgerEntry]) -> "ReplayProjector":
+        projector = cls()
+        for entry in entries:
+            projector.apply(entry.kind, entry.payload)
+        return projector
+
+    @classmethod
+    def from_records(cls, records: Iterable[Dict[str, Any]]) -> "ReplayProjector":
+        """Replay exported JSONL records (``load_ledger_jsonl`` output).
+
+        Records must already be in merged ``(time, shard, seq)`` order,
+        which is how :func:`~repro.ledger.ledger.write_ledger_jsonl` lays
+        them out.
+        """
+        projector = cls()
+        for record in records:
+            projector.apply(record["kind"], record["payload"])
+        return projector
+
+    def apply(self, kind: str, payload: Dict[str, Any]) -> None:
+        # dispatch table deliberately not named *handlers*: these are ledger
+        # entry kinds, not wire verbs, and must stay out of PROTOCOL.md
+        projector = self._PROJECTORS.get(kind)
+        if projector is not None:
+            projector(self, payload)
+        self.state.entries_applied += 1
+
+    # -- registrar chain ------------------------------------------------------
+
+    def _apply_register(self, payload: Dict[str, Any]) -> None:
+        self.state.records[payload["entity"]] = {
+            "name": payload["name"],
+            "kind": payload["kind"],
+            "host": payload["host"],
+            "registered_at": payload["registered_at"],
+            "lease_expiry": payload["lease_expiry"],
+        }
+
+    def _apply_lease_renew(self, payload: Dict[str, Any]) -> None:
+        record = self.state.records.get(payload["entity"])
+        if record is not None:
+            record["lease_expiry"] = payload["lease_expiry"]
+
+    def _apply_depart(self, payload: Dict[str, Any]) -> None:
+        self.state.records.pop(payload["entity"], None)
+
+    # -- profile-manager chain ------------------------------------------------
+
+    def _apply_profile_add(self, payload: Dict[str, Any]) -> None:
+        # deep-copied: profile-update patches the projected wire in place,
+        # and the original dict belongs to an already-hashed ledger entry
+        self.state.profiles[payload["entity"]] = {
+            "profile": copy.deepcopy(payload["profile"]),
+            "advertisements": list(payload["advertisements"]),
+        }
+
+    def _apply_profile_remove(self, payload: Dict[str, Any]) -> None:
+        self.state.profiles.pop(payload["entity"], None)
+
+    def _apply_profile_update(self, payload: Dict[str, Any]) -> None:
+        stored = self.state.profiles.get(payload["entity"])
+        if stored is not None:
+            stored["profile"]["attributes"].update(payload["attributes"])
+
+    # -- mediator chains ------------------------------------------------------
+
+    def _apply_subscribe(self, payload: Dict[str, Any]) -> None:
+        self.state.subscriptions[payload["sub_id"]] = {
+            "subscriber": payload["subscriber"],
+            "filter": payload["filter"],
+            "one_time": payload["one_time"],
+            "owner": payload["owner"],
+            "query": payload["query"],
+            "delivered": 0,
+        }
+
+    def _apply_unsubscribe(self, payload: Dict[str, Any]) -> None:
+        self.state.subscriptions.pop(payload["sub_id"], None)
+
+    def _apply_delivery(self, payload: Dict[str, Any]) -> None:
+        subscription = self.state.subscriptions.get(payload["sub_id"])
+        if subscription is not None:
+            subscription["delivered"] += 1
+
+    def _apply_retain(self, payload: Dict[str, Any]) -> None:
+        key = tuple(payload["key"])
+        self.state.retained[key] = {
+            "first_seq": payload["first_seq"],
+            "event": payload["event"],
+        }
+
+    def _apply_retain_evict(self, payload: Dict[str, Any]) -> None:
+        self.state.retained.pop(tuple(payload["key"]), None)
+
+    # -- query chain ----------------------------------------------------------
+
+    def _apply_query(self, payload: Dict[str, Any]) -> None:
+        self.state.queries.setdefault(payload["query_id"], []).append(payload)
+
+    _PROJECTORS = {
+        "register": _apply_register,
+        "lease-renew": _apply_lease_renew,
+        "depart": _apply_depart,
+        "profile-add": _apply_profile_add,
+        "profile-remove": _apply_profile_remove,
+        "profile-update": _apply_profile_update,
+        "subscribe": _apply_subscribe,
+        "unsubscribe": _apply_unsubscribe,
+        "delivery": _apply_delivery,
+        "retain": _apply_retain,
+        "retain-evict": _apply_retain_evict,
+        "query": _apply_query,
+    }
+
+
+# -- snapshots: the comparable (and hashable) views ---------------------------
+
+
+def snapshot_registrar(registrar) -> Dict[str, Dict[str, Any]]:
+    """Live membership view in the projection's shape."""
+    return {
+        record.entity_hex: {
+            "name": record.profile.name,
+            "kind": record.kind,
+            "host": record.host_id,
+            "registered_at": record.registered_at,
+            "lease_expiry": record.lease_expiry,
+        }
+        for record in registrar.records()
+    }
+
+
+def snapshot_profiles(profile_manager) -> Dict[str, Dict[str, Any]]:
+    """Live profile view: wire forms plus advertisements, per entity."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for profile in profile_manager.all_profiles():
+        entity_hex = profile.entity_id.hex
+        out[entity_hex] = {
+            "profile": profile.to_wire(),
+            "advertisements": [
+                ad.to_wire()
+                for ad in profile_manager.advertisements_of(entity_hex)],
+        }
+    return out
+
+
+def snapshot_retained(mediator) -> List[List[Any]]:
+    """Merged retained store in first-retained order (shard-invariant)."""
+    entries = mediator.all_retained_entries()
+    entries.sort(key=lambda entry: entry[0])
+    return [[first_seq, list(key), event.to_wire()]
+            for first_seq, key, event in entries]
+
+
+def snapshot_subscriptions(mediator) -> Dict[str, Dict[str, Any]]:
+    """Every live subscription (router + shards) in the projection shape."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for subscription in mediator.all_subscriptions():
+        out[str(subscription.sub_id)] = {
+            "subscriber": subscription.subscriber.hex,
+            "filter": subscription.filter.to_spec(),
+            "one_time": subscription.one_time,
+            "owner": (None if subscription.owner is None
+                      else str(subscription.owner)),
+            "query": subscription.query,
+            "delivered": subscription.delivered,
+        }
+    return out
+
+
+def live_snapshot(server) -> Dict[str, Any]:
+    """The comparable view of a Context Server's live books."""
+    return {
+        "records": snapshot_registrar(server.registrar),
+        "profiles": snapshot_profiles(server.profiles),
+        "retained": snapshot_retained(server.mediator),
+        "subscriptions": snapshot_subscriptions(server.mediator),
+    }
+
+
+def projection_snapshot(state: ProjectedState) -> Dict[str, Any]:
+    """The projected state in the exact shape of :func:`live_snapshot`."""
+    retained = [[value["first_seq"], list(key), value["event"]]
+                for key, value in state.retained.items()]
+    retained.sort(key=lambda item: item[0])
+    return {
+        "records": {entity: dict(record)
+                    for entity, record in state.records.items()},
+        "profiles": {entity: {"profile": dict(stored["profile"]),
+                              "advertisements": list(stored["advertisements"])}
+                     for entity, stored in state.profiles.items()},
+        "retained": retained,
+        "subscriptions": {str(sub_id): dict(facts)
+                          for sub_id, facts in state.subscriptions.items()},
+    }
+
+
+def snapshot_digest(snapshot: Dict[str, Any]) -> str:
+    """A stable digest of one snapshot — the smoke gate's equality check."""
+    return blake2b(_canonical(snapshot).encode("utf-8"),
+                   digest_size=16).hexdigest()

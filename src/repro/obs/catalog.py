@@ -162,6 +162,18 @@ _declare("cs.shard.moved_retained", "counter",
          "retained events migrated between shards on rebalance",
          labels=("range",))
 
+# -- context ledger -----------------------------------------------------------
+
+_declare("cs.ledger.appends", "counter",
+         "ledger entries appended, by entry kind",
+         labels=("range", "kind"))
+_declare("cs.ledger.replays", "counter",
+         "replay projections rebuilt from a ledger prefix",
+         labels=("range",))
+_declare("cs.ledger.asof_reads", "counter",
+         "historical as-of views answered from the ledger",
+         labels=("range",))
+
 # -- composition: configuration graphs and resolver ---------------------------
 
 _declare("config.graph.builds", "counter",

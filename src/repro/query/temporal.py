@@ -14,7 +14,10 @@ Supported conditions:
 ``enters(entity, place)``    execute when ``entity`` enters ``place``
 
 Any condition may carry ``until(T)``: the query expires (is dropped) if not
-triggered by absolute time T.
+triggered *before* absolute time T. The boundary is inclusive — a trigger
+landing exactly at T never executes — so the expiry sweep and a
+same-instant trigger agree on the outcome regardless of which runs first
+(see ``ContextServer._sweep_expired_queries``).
 
 Textual form examples: ``"now"``, ``"after(30)"``,
 ``"enters(bob, L10.01) until(600)"``.
@@ -98,7 +101,13 @@ class WhenClause:
                 and self.place == place)
 
     def expired(self, now: float) -> bool:
-        return self.expires is not None and now > self.expires
+        """Inclusive boundary: at ``now == expires`` the query is expired.
+
+        Pinned this way so an ``enters`` trigger and the periodic expiry
+        sweep landing at the same sim-time resolve identically — both see
+        the query as dead — instead of racing on execution order.
+        """
+        return self.expires is not None and now >= self.expires
 
     # -- text form -----------------------------------------------------------------
 
@@ -123,7 +132,11 @@ class WhenClause:
         if until:
             expires = float(until.group(1))
             text = text[: until.start()].strip()
-        if text == "now" or not text:
+        if not text:
+            # a bare "until(600)" (or "") has no condition to expire; do
+            # not silently coerce it to an expiring "now"
+            raise QueryError("empty When clause body")
+        if text == "now":
             return cls("now", expires=expires)
         match = _AT_RE.match(text)
         if match:

@@ -42,6 +42,9 @@ from repro.entities.entity import ContextEntity
 from repro.entities.profile import EntityClass, Profile
 from repro.events.filters import TypeFilter
 from repro.events.mediator import EventMediator
+from repro.ledger.ledger import ContextLedger, LedgerEntry, merge_entries
+from repro.ledger.replay import ProjectedState, ReplayProjector
+from repro.ledger.timetravel import AsOfView, explain_query
 from repro.location.building import BuildingModel
 from repro.location.language import LocationExpr, parse_location
 from repro.location.service import EntityFix, LocationService
@@ -89,6 +92,7 @@ class ContextServer(Process):
         mediator_shards: int = 1,
         resolver_shards: int = 1,
         shard_hosts: Optional[List[str]] = None,
+        ledger: bool = True,
     ):
         super().__init__(guid, host_id, network, name=f"cs:{definition.name}")
         self.definition = definition
@@ -96,6 +100,24 @@ class ContextServer(Process):
         self.registry = registry
         self.guids = guid_factory
         self.templates = templates or TemplateRegistry()
+
+        # -- context ledger (ROADMAP item 4) ----------------------------------
+        # rank 0 is the CS-lane chain (registrar, profiles, router, query
+        # lifecycle); each mediator shard appends to its own child chain.
+        self.ledger: Optional[ContextLedger] = None
+        if ledger:
+            self.ledger = ContextLedger(
+                f"cs:{definition.name}",
+                metrics=network.obs.metrics,
+                range_name=definition.name)
+        self._ledger_replays_counter = network.obs.metrics.counter(
+            "cs.ledger.replays",
+            "replay projections rebuilt from a ledger prefix",
+            labels=("range",))
+        self._ledger_asof_counter = network.obs.metrics.counter(
+            "cs.ledger.asof_reads",
+            "historical as-of views answered from the ledger",
+            labels=("range",))
 
         # -- Context Utilities (Section 3.1's core set) -----------------------
         # the range mediator runs in reliable (ack/retry + sequenced) mode
@@ -112,18 +134,22 @@ class ContextServer(Process):
                 shards=mediator_shards,
                 shard_hosts=shard_hosts,
                 guid_factory=self.guids,
-                reliable=reliable_events)
+                reliable=reliable_events,
+                ledger=self.ledger)
         else:
             self.mediator = EventMediator(self.guids.mint(), host_id, network,
                                           definition.name,
-                                          reliable=reliable_events)
+                                          reliable=reliable_events,
+                                          ledger=self.ledger)
         self.registrar = Registrar(self.guids.mint(), host_id, network,
                                    definition.name,
                                    context_server=self.guid,
                                    event_mediator=self.mediator.guid,
-                                   lease_duration=lease_duration)
+                                   lease_duration=lease_duration,
+                                   ledger=self.ledger)
         self.profiles = ProfileManager(self.guids.mint(), host_id, network,
-                                       definition.name)
+                                       definition.name,
+                                       ledger=self.ledger)
         self.location = LocationService(self.guids.mint(), host_id, network,
                                         building, definition.name)
         self.range_services: Dict[str, RangeService] = {}
@@ -296,6 +322,10 @@ class ContextServer(Process):
             "cs.query.routed", "queries routed per range and outcome",
             labels=("range", "status")).inc(
                 range=self.definition.name, status=status)
+        self._log_query(query.query_id, "routed", status=status,
+                        mode=query.mode.value, when=str(query.when),
+                        subscriber=subscriber_hex,
+                        **({"error": error} if error else {}))
         return status, error
 
     def _route_query(self, query: Query, subscriber_hex: str):
@@ -339,8 +369,11 @@ class ContextServer(Process):
 
     def _execute_later(self, query: Query, subscriber_hex: str,
                        trace_ctx: Optional[Dict[str, str]] = None) -> None:
+        # inclusive boundary: a trigger landing exactly on the expiry
+        # instant never executes (see WhenClause.expired)
         if query.when.expired(self.now):
             self.queries_failed += 1
+            self._log_query(query.query_id, "expired")
             return
         with self.network.obs.tracer.activate(trace_ctx):
             self.execute_query(query, subscriber_hex)
@@ -368,6 +401,14 @@ class ContextServer(Process):
         self._parked = [parked for parked in self._parked
                         if parked not in triggered]
         for parked in triggered:
+            # An entry event landing on the expiry instant must resolve the
+            # same way whether the trigger or the 10-unit sweep runs first
+            # (they race at equal sim-times under partitioned schedulers).
+            # With inclusive expiry the answer is always "expired": the
+            # trigger path refuses exactly where the sweep would drop it.
+            if parked.query.when.expired(self.now):
+                self._expire_parked(parked)
+                continue
             logger.info("%s: parked query %s triggered by %s entering %s",
                         self.name, parked.query.query_id,
                         fix.entity_key, fix.room)
@@ -383,12 +424,17 @@ class ContextServer(Process):
         self._parked = [parked for parked in self._parked
                         if parked not in expired]
         for parked in expired:
-            self.queries_failed += 1
-            self.send(GUID.from_hex(parked.subscriber_hex), "query-result", {
-                "query_id": parked.query.query_id,
-                "ok": False,
-                "error": "query expired while parked",
-            })
+            self._expire_parked(parked)
+
+    def _expire_parked(self, parked: ParkedQuery) -> None:
+        """Fail one expired parked query (sweep and trigger paths agree)."""
+        self.queries_failed += 1
+        self._log_query(parked.query.query_id, "expired")
+        self.send(GUID.from_hex(parked.subscriber_hex), "query-result", {
+            "query_id": parked.query.query_id,
+            "ok": False,
+            "error": "query expired while parked",
+        })
 
     # --------------------------------------------------------------- execution
 
@@ -405,20 +451,26 @@ class ContextServer(Process):
     def _execute(self, query: Query, subscriber_hex: str) -> Optional[str]:
         try:
             if query.mode == QueryMode.PROFILE:
-                self._execute_profile(query, subscriber_hex)
+                bound = self._execute_profile(query, subscriber_hex)
             elif query.mode == QueryMode.ADVERTISEMENT:
-                self._execute_advertisement(query, subscriber_hex)
+                bound = self._execute_advertisement(query, subscriber_hex)
             else:
-                self._execute_subscription(query, subscriber_hex)
+                bound = self._execute_subscription(query, subscriber_hex)
         except NoProviderError as exc:
             self.queries_failed += 1
             self._send_failure(query, subscriber_hex, str(exc))
+            self._log_query(query.query_id, "failed",
+                            mode=query.mode.value, error=str(exc))
             return str(exc)
         except SCIError as exc:
             self.queries_failed += 1
             self._send_failure(query, subscriber_hex, str(exc))
+            self._log_query(query.query_id, "failed",
+                            mode=query.mode.value, error=str(exc))
             return str(exc)
         self.queries_executed += 1
+        self._log_query(query.query_id, "executed",
+                        mode=query.mode.value, bound=bound)
         return None
 
     def _send_result(self, query_id: str, subscriber_hex: str,
@@ -436,7 +488,8 @@ class ContextServer(Process):
 
     # -- profile mode -------------------------------------------------------------
 
-    def _execute_profile(self, query: Query, subscriber_hex: str) -> None:
+    def _execute_profile(self, query: Query,
+                         subscriber_hex: str) -> List[str]:
         matches = self._matching_records(query)
         self._send_result(query.query_id, subscriber_hex, {
             "query_id": query.query_id,
@@ -444,6 +497,7 @@ class ContextServer(Process):
             "mode": "profile",
             "profiles": [record.profile.to_wire() for record in matches],
         })
+        return [record.entity_hex for record in matches]
 
     def _matching_records(self, query: Query) -> List[RegistrationRecord]:
         where_rooms = self._where_rooms(query)
@@ -473,7 +527,8 @@ class ContextServer(Process):
 
     # -- advertisement mode -----------------------------------------------------------
 
-    def _execute_advertisement(self, query: Query, subscriber_hex: str) -> None:
+    def _execute_advertisement(self, query: Query,
+                               subscriber_hex: str) -> List[str]:
         candidates = self._build_candidates(query)
         chosen = query.which.select(candidates)
         result: Dict[str, Any] = {
@@ -492,6 +547,7 @@ class ContextServer(Process):
         else:
             result["selected"] = _candidate_to_wire(chosen)
         self._send_result(query.query_id, subscriber_hex, result)
+        return [chosen.entity_id] if chosen is not None else []
 
     def _build_candidates(self, query: Query) -> List[Candidate]:
         where_rooms = self._where_rooms(query)
@@ -561,7 +617,8 @@ class ContextServer(Process):
 
     # -- subscription modes ----------------------------------------------------------------
 
-    def _execute_subscription(self, query: Query, subscriber_hex: str) -> None:
+    def _execute_subscription(self, query: Query,
+                              subscriber_hex: str) -> List[str]:
         if query.what.kind != "pattern":
             raise QueryError(
                 f"{query.mode.value} queries need a pattern What clause, "
@@ -578,6 +635,7 @@ class ContextServer(Process):
         logger.info("%s: %s -> %s (depth %d, %d nodes)", self.name,
                     query.query_id, config.config_id,
                     config.plan.depth(), config.plan.node_count())
+        return sorted(config.node_guids.values())
 
     def _where_predicate(self, query: Query):
         """Provider restrictions from Where plus any QoC contracts.
@@ -632,6 +690,46 @@ class ContextServer(Process):
 
     def parked_queries(self) -> List[ParkedQuery]:
         return list(self._parked)
+
+    # ---------------------------------------------------------------- ledger
+
+    def _log_query(self, query_id: str, event: str, **fields) -> None:
+        """One query-lifecycle entry on the rank-0 chain."""
+        if self.ledger is not None:
+            self.ledger.append(self.now, "query",
+                               dict({"query_id": query_id, "event": event},
+                                    **fields))
+
+    def ledgers(self) -> List[ContextLedger]:
+        """Every chain of this range's ledger family (root + shards)."""
+        if self.ledger is None:
+            return []
+        chains = [self.ledger]
+        for chain in self.mediator.ledgers():
+            if chain is not self.ledger:
+                chains.append(chain)
+        return chains
+
+    def ledger_entries(self, upto: Optional[float] = None) -> List[LedgerEntry]:
+        """The family-wide merged entry stream (time <= ``upto`` if given)."""
+        return merge_entries(self.ledgers(), upto)
+
+    def ledger_projection(self, upto: Optional[float] = None) -> ProjectedState:
+        """Rebuild the range's books from the ledger prefix up to ``upto``."""
+        self._ledger_replays_counter.inc(range=self.definition.name)
+        return ReplayProjector.from_entries(self.ledger_entries(upto)).state
+
+    def as_of(self, time: float) -> AsOfView:
+        """A historical read path: the range's books as they stood at T."""
+        if self.ledger is None:
+            raise SCIError(f"{self.name}: ledger disabled, no as-of reads")
+        self._ledger_asof_counter.inc(range=self.definition.name)
+        projector = ReplayProjector.from_entries(self.ledger_entries(time))
+        return AsOfView(projector.state, self.registry, time)
+
+    def explain(self, query_id: str) -> Optional[Dict[str, Any]]:
+        """The audit trail of one query as hash-stable entry references."""
+        return explain_query(self.ledger_entries(), query_id)
 
     def shutdown(self) -> None:
         self._expiry_sweeper.cancel()

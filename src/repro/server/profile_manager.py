@@ -30,11 +30,13 @@ class ProfileManager(Process):
     """Profile and Advertisement storage for one range."""
 
     def __init__(self, guid: GUID, host_id: str, network: Network,
-                 range_name: str = ""):
+                 range_name: str = "", ledger=None):
         super().__init__(guid, host_id, network,
                          name=f"profiles:{range_name or guid}")
         self._profiles: Dict[str, Profile] = {}
         self._advertisements: Dict[str, List[Advertisement]] = {}
+        #: the range's root context ledger (rank 0); None disables recording
+        self._ledger = ledger
         self.updates = 0
         #: bumped on membership changes; an index-invalidation feed for
         #: consumers keying off this store (mirrors ``Registrar.version``)
@@ -48,12 +50,22 @@ class ProfileManager(Process):
         self._advertisements[profile.entity_id.hex] = list(advertisements or [])
         self.updates += 1
         self.version += 1
+        if self._ledger is not None:
+            self._ledger.append(self.now, "profile-add", {
+                "entity": profile.entity_id.hex,
+                "profile": profile.to_wire(),
+                "advertisements": [ad.to_wire()
+                                   for ad in advertisements or []],
+            })
 
     def remove(self, entity_hex: str) -> bool:
         self._advertisements.pop(entity_hex, None)
         removed = self._profiles.pop(entity_hex, None) is not None
         if removed:
             self.version += 1
+            if self._ledger is not None:
+                self._ledger.append(self.now, "profile-remove",
+                                    {"entity": entity_hex})
         return removed
 
     def get(self, entity_hex: str) -> Optional[Profile]:
@@ -88,6 +100,11 @@ class ProfileManager(Process):
             return False
         profile.attributes.update(attributes)
         self.updates += 1
+        if self._ledger is not None:
+            self._ledger.append(self.now, "profile-update", {
+                "entity": entity_hex,
+                "attributes": dict(attributes),
+            })
         return True
 
     def population(self) -> int:

@@ -51,7 +51,8 @@ class Registrar(Process):
                  range_name: str,
                  context_server: GUID, event_mediator: GUID,
                  lease_duration: float = 30.0,
-                 sweep_interval: float = 5.0):
+                 sweep_interval: float = 5.0,
+                 ledger=None):
         super().__init__(guid, host_id, network, name=f"registrar:{range_name}")
         if lease_duration <= 0 or sweep_interval <= 0:
             raise ValueError("lease and sweep intervals must be positive")
@@ -73,6 +74,8 @@ class Registrar(Process):
         self.on_arrival: Callable[[RegistrationRecord], None] = lambda record: None
         self.on_departure: Callable[[RegistrationRecord, str], None] = (
             lambda record, reason: None)
+        #: the range's root context ledger (rank 0); None disables recording
+        self._ledger = ledger
         self.registrations = 0
         self.evictions = 0
         self.expiry_pops = 0
@@ -104,6 +107,7 @@ class Registrar(Process):
         self.registrations += 1
         self.version += 1
         self._track_lease(record)
+        self._log_register(record)
         if notify:
             self.on_arrival(record)
         return record
@@ -114,6 +118,9 @@ class Registrar(Process):
             return False
         # any heap entries for this record become stale and are skipped on pop
         self.version += 1
+        if self._ledger is not None:
+            self._ledger.append(self.now, "depart",
+                                {"entity": entity_hex, "reason": reason})
         if notify_entity:
             self.send(record.profile.entity_id, "deregistered", {"reason": reason})
         self.on_departure(record, reason)
@@ -124,6 +131,21 @@ class Registrar(Process):
             heapq.heappush(self._expiry_heap,
                            (record.lease_expiry, next(self._heap_seq),
                             record.entity_hex))
+
+    def _log_register(self, record: RegistrationRecord) -> None:
+        """One ledger entry per (re-)registration, profile frozen at entry."""
+        if self._ledger is None:
+            return
+        self._ledger.append(self.now, "register", {
+            "entity": record.entity_hex,
+            "name": record.profile.name,
+            "kind": record.kind,
+            "host": record.host_id,
+            "registered_at": record.registered_at,
+            "lease_expiry": record.lease_expiry,
+            "profile": record.profile.to_wire(),
+            "advertisements": [ad.to_wire() for ad in record.advertisements],
+        })
 
     def shutdown(self) -> None:
         self._sweeper.cancel()
@@ -163,6 +185,7 @@ class Registrar(Process):
         self.registrations += 1
         self.version += 1
         self._track_lease(record)
+        self._log_register(record)
         self.reply(message, "register-ack", {
             "ok": True,
             "range": self.range_name,
@@ -189,6 +212,11 @@ class Registrar(Process):
         if record.lease_expiry is not None:
             record.lease_expiry = self.now + self.lease_duration
             self._track_lease(record)
+            if self._ledger is not None:
+                self._ledger.append(self.now, "lease-renew", {
+                    "entity": entity_hex,
+                    "lease_expiry": record.lease_expiry,
+                })
         # the ack lets the sender retransmit a heartbeat the network ate
         # instead of losing a third of its lease (renewal is idempotent and
         # duplicates are suppressed transport-side anyway)

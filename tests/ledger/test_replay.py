@@ -1,0 +1,119 @@
+"""Unit projection: each entry kind folds into the expected books."""
+
+from repro.ledger.ledger import (ContextLedger, load_ledger_jsonl,
+                                 write_ledger_jsonl)
+from repro.ledger.replay import (ReplayProjector, projection_snapshot,
+                                 snapshot_digest)
+
+
+def _profile_wire(entity_hex, name, **attributes):
+    return {"entity_id": entity_hex, "name": name, "entity_class": "ce",
+            "outputs": [], "inputs": [], "params": {},
+            "attributes": dict(attributes), "quality": {}}
+
+
+def build_ledger():
+    """A ledger exercising every entry kind once (and then some)."""
+    ledger = ContextLedger("cs:replay")
+    ledger.append(1.0, "register", {
+        "entity": "aa", "name": "S1", "kind": "ce", "host": "h1",
+        "registered_at": 1.0, "lease_expiry": 31.0,
+        "profile": _profile_wire("aa", "S1"), "advertisements": []})
+    ledger.append(2.0, "profile-add", {
+        "entity": "aa", "profile": _profile_wire("aa", "S1", room="L10.01"),
+        "advertisements": []})
+    ledger.append(3.0, "lease-renew", {"entity": "aa", "lease_expiry": 41.0})
+    ledger.append(4.0, "profile-update",
+                  {"entity": "aa", "attributes": {"room": "L10.02"}})
+    ledger.append(5.0, "subscribe", {
+        "sub_id": 7, "subscriber": "bb", "filter": {"kind": "type",
+                                                    "type": "location"},
+        "one_time": False, "owner": "app", "query": "q-1"})
+    ledger.append(6.0, "retain", {
+        "key": ["location", "topological", "bob"], "first_seq": 12,
+        "event": {"type": "location", "value": "L10.01"}})
+    ledger.append(7.0, "delivery", {"sub_id": 7, "event_seq": 12,
+                                    "type": "location", "subject": "bob"})
+    ledger.append(8.0, "query", {"query_id": "q-1", "event": "routed",
+                                 "status": "executed"})
+    return ledger
+
+
+class TestProjection:
+    def test_membership_and_lease(self):
+        state = ReplayProjector.from_entries(build_ledger().entries()).state
+        assert state.records["aa"]["lease_expiry"] == 41.0
+        assert state.records["aa"]["host"] == "h1"
+        assert state.entries_applied == 8
+
+    def test_profile_update_patches_attributes(self):
+        state = ReplayProjector.from_entries(build_ledger().entries()).state
+        assert state.profiles["aa"]["profile"]["attributes"] == \
+            {"room": "L10.02"}
+
+    def test_projection_never_mutates_entry_payloads(self):
+        # the update must patch a copy: the original wire belongs to an
+        # already-hashed entry, so in-place patching would break verify()
+        ledger = build_ledger()
+        ReplayProjector.from_entries(ledger.entries())
+        assert ledger.entry(1).payload["profile"]["attributes"] == \
+            {"room": "L10.01"}
+        assert ledger.verify() == 8
+
+    def test_subscription_and_delivery_count(self):
+        state = ReplayProjector.from_entries(build_ledger().entries()).state
+        assert state.subscriptions[7]["delivered"] == 1
+        assert state.subscriptions[7]["owner"] == "app"
+
+    def test_retained_store(self):
+        state = ReplayProjector.from_entries(build_ledger().entries()).state
+        key = ("location", "topological", "bob")
+        assert state.retained[key]["first_seq"] == 12
+
+    def test_query_lifecycle_accumulates(self):
+        state = ReplayProjector.from_entries(build_ledger().entries()).state
+        assert [step["event"] for step in state.queries["q-1"]] == ["routed"]
+
+    def test_teardown_kinds(self):
+        ledger = build_ledger()
+        ledger.append(9.0, "unsubscribe", {"sub_id": 7})
+        ledger.append(10.0, "retain-evict",
+                      {"key": ["location", "topological", "bob"]})
+        ledger.append(11.0, "profile-remove", {"entity": "aa"})
+        ledger.append(12.0, "depart", {"entity": "aa", "reason": "lease"})
+        state = ReplayProjector.from_entries(ledger.entries()).state
+        assert state.subscriptions == {}
+        assert state.retained == {}
+        assert state.profiles == {}
+        assert state.records == {}
+
+    def test_stragglers_for_unknown_targets_ignored(self):
+        ledger = ContextLedger("cs:replay")
+        ledger.append(1.0, "lease-renew", {"entity": "zz",
+                                           "lease_expiry": 9.0})
+        ledger.append(2.0, "delivery", {"sub_id": 99, "event_seq": 1,
+                                        "type": "t", "subject": "s"})
+        ledger.append(3.0, "profile-update", {"entity": "zz",
+                                              "attributes": {"a": 1}})
+        state = ReplayProjector.from_entries(ledger.entries()).state
+        assert state.records == {} and state.subscriptions == {}
+
+
+class TestCrashRecovery:
+    def test_from_records_equals_from_entries(self, tmp_path):
+        # the JSONL artefact alone rebuilds the same books — the
+        # crash-recovery path needs no live process
+        ledger = build_ledger()
+        path = tmp_path / "ledger.jsonl"
+        write_ledger_jsonl([ledger], path)
+        live = ReplayProjector.from_entries(ledger.entries()).state
+        recovered = ReplayProjector.from_records(load_ledger_jsonl(path)).state
+        assert projection_snapshot(recovered) == projection_snapshot(live)
+        assert snapshot_digest(projection_snapshot(recovered)) == \
+            snapshot_digest(projection_snapshot(live))
+
+    def test_same_prefix_same_projection(self):
+        entries = build_ledger().entries()
+        first = projection_snapshot(ReplayProjector.from_entries(entries).state)
+        second = projection_snapshot(ReplayProjector.from_entries(entries).state)
+        assert first == second

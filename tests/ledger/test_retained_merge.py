@@ -1,0 +1,121 @@
+"""Retained-store eviction order across shard merges and rebalance.
+
+The retained view is keyed on ``(type, representation, subject)`` with a
+first-retained seq stamp minted once per key (``_retained_first``). The
+stamp is what makes the merged view shard-invariant: rebalance moves a
+retained entry between shards but must never re-stamp it, so the merged
+first-retained order — and therefore the ledger projection, which never
+sees adopt/release at all — survives ``add_shard`` / ``remove_shard``.
+Evictions are per-shard (oldest-first within the owner), and every
+eviction is logged, so live and projected retained views stay equal
+through cap pressure and topology churn alike.
+"""
+
+import itertools
+
+from repro.core.ids import GuidFactory
+from repro.core.types import TypeSpec
+from repro.events import subscription as subscription_module
+from repro.events.event import ContextEvent
+from repro.events.sharding import ShardedEventMediator
+from repro.ledger.ledger import ContextLedger, merge_entries
+from repro.ledger.replay import (ReplayProjector, projection_snapshot,
+                                 snapshot_retained)
+from repro.net.transport import FixedLatency, FunctionProcess, Network
+
+SUBJECTS = ["bob", "john", "ada", "eve", "kim", "liz", "mia", "ned"]
+
+
+def _wire(i, subject):
+    return ContextEvent(
+        TypeSpec("location", "topological", subject),
+        f"room-{i}", GuidFactory(seed=99).mint(), float(i),
+        seq=1000 + i).to_wire()
+
+
+def build(retained_cap=3):
+    subscription_module._subscription_ids = itertools.count(1)
+    net = Network(latency_model=FixedLatency(1.0), seed=3)
+    net.add_host("h")
+    guids = GuidFactory(seed=4)
+    ledger = ContextLedger("cs:retained")
+    mediator = ShardedEventMediator(guids.mint(), "h", net, "r",
+                                    shards=2, guid_factory=guids,
+                                    retained_cap=retained_cap,
+                                    ledger=ledger)
+    publisher = FunctionProcess(guids.mint(), "h", net, lambda _m: None)
+    return net, mediator, publisher
+
+
+def _publish(net, mediator, publisher, items, start):
+    for offset, (i, subject) in enumerate(items):
+        net.scheduler.schedule_at(
+            start + offset, publisher.send, mediator.guid, "publish",
+            {"event": _wire(i, subject), "ack": False})
+    net.run_until_idle()
+
+
+def _projected_retained(mediator):
+    state = ReplayProjector.from_entries(
+        merge_entries(mediator.ledgers())).state
+    return projection_snapshot(state)["retained"]
+
+
+class TestRetainedAcrossShardMerge:
+    def test_eviction_order_and_projection_survive_rebalance(self):
+        net, mediator, publisher = build(retained_cap=3)
+        # 8 distinct keys into 2 shards with cap 3 -> evictions on both
+        _publish(net, mediator, publisher,
+                 [(i, s) for i, s in enumerate(SUBJECTS)], start=10.0)
+        before = snapshot_retained(mediator)
+        assert 0 < len(before) < len(SUBJECTS), "cap never bit"
+        assert before == sorted(before, key=lambda e: e[0])
+        assert _projected_retained(mediator) == before
+
+        # topology churn with no publishes: the merged view (and every
+        # first-retained stamp in it) must be bit-identical
+        new_shard = mediator.add_shard()
+        net.run_until_idle()
+        assert snapshot_retained(mediator) == before
+        assert _projected_retained(mediator) == before
+
+        victim = next(sid for sid in mediator.shard_ids()
+                      if sid != new_shard)
+        mediator.remove_shard(victim)
+        net.run_until_idle()
+        assert snapshot_retained(mediator) == before
+        assert _projected_retained(mediator) == before
+
+    def test_post_rebalance_updates_keep_first_stamp(self):
+        net, mediator, publisher = build(retained_cap=8)
+        _publish(net, mediator, publisher,
+                 [(i, s) for i, s in enumerate(SUBJECTS[:4])], start=10.0)
+        stamps = {tuple(key): first for first, key, _ in
+                  snapshot_retained(mediator)}
+        mediator.add_shard()
+        net.run_until_idle()
+        # re-publish the same keys with new values after the rebalance:
+        # values update in place, first-retained stamps must not move
+        _publish(net, mediator, publisher,
+                 [(i + 50, s) for i, s in enumerate(SUBJECTS[:4])],
+                 start=100.0)
+        after = snapshot_retained(mediator)
+        assert {tuple(key): first for first, key, _ in after} == stamps
+        assert {event["value"] for _, _, event in after} == \
+            {f"room-{i + 50}" for i in range(4)}
+        assert _projected_retained(mediator) == after
+
+    def test_retired_shard_chains_stay_in_the_family(self):
+        net, mediator, publisher = build(retained_cap=8)
+        _publish(net, mediator, publisher,
+                 [(i, s) for i, s in enumerate(SUBJECTS[:4])], start=10.0)
+        chains_before = len(mediator.ledgers())
+        victim = mediator.shard_ids()[0]
+        mediator.remove_shard(victim)
+        net.run_until_idle()
+        chains = mediator.ledgers()
+        # the retired shard's chain is still part of the merged history
+        assert len(chains) == chains_before
+        for chain in chains:
+            chain.verify()
+        assert _projected_retained(mediator) == snapshot_retained(mediator)

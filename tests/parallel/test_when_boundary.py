@@ -1,0 +1,120 @@
+"""The enters-trigger vs expiry-sweep race, pinned across substrates.
+
+A parked ``enters(...) until(T)`` query has two ways to leave the parked
+list: the triggering entry event, or the Context Server's 10-unit expiry
+sweep. When the entry lands exactly at ``T`` — which is also a sweep tick
+here — the two are same-sim-time work items, and partitioned schedulers
+may legitimately run them in either order. The When boundary is inclusive
+precisely so the order cannot matter: at ``now == T`` the trigger path
+refuses exactly where the sweep would drop, so every configuration
+(classic scheduler and every partition count) reports the same single
+"query expired while parked" failure and zero executions.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.ids import GuidFactory
+from repro.core.types import standard_registry
+from repro.entities.entity import ContextAwareApplication
+from repro.entities.profile import EntityClass, Profile
+from repro.events import subscription as subscription_module
+from repro.location.building import livingstone_tower
+from repro.location.converters import register_location_converters
+from repro.net.transport import FixedLatency, Network
+from repro.query.model import QueryBuilder
+from repro.server.context_server import ContextServer
+from repro.server.deployment import standard_templates
+from repro.server.range import RangeDefinition
+
+PARTITION_COUNTS = (2, 4, 8)
+#: the until() instant — deliberately a multiple of the 10-unit sweep
+#: period, so the sweep timer and the entry fix collide at equal sim-time
+EXPIRY = 30.0
+
+
+def run_boundary_scenario(partitions, fix_time=EXPIRY, seed=11):
+    """One mini deployment; returns the observable outcome of the race."""
+    subscription_module._subscription_ids = itertools.count(1)
+    if partitions is None:
+        net = Network(latency_model=FixedLatency(1.0), seed=seed)
+    else:
+        net = Network(latency_model=FixedLatency(1.0), seed=seed,
+                      partitions=partitions)
+    net.add_host("host-a")
+    net.add_host("host-b")
+    guids = GuidFactory(seed=7)
+    building = livingstone_tower()
+    registry = register_location_converters(standard_registry(), building)
+    definition = RangeDefinition("livingstone", places=["livingstone"],
+                                 hosts=["host-a", "host-b"])
+    server = ContextServer(
+        guids.mint(), "host-a", net,
+        definition=definition, building=building, registry=registry,
+        guid_factory=guids,
+        templates=standard_templates(guids, building),
+        lease_duration=30.0,
+    )
+    app = ContextAwareApplication(
+        Profile(guids.mint(), "boundary-app", EntityClass.SOFTWARE),
+        "host-b", net)
+    app.start()
+    net.scheduler.run_until(20)
+
+    query = (QueryBuilder("bob").profiles_of_type("device")
+             .when(f"enters(bob, L10.01) until({EXPIRY:g})").build())
+    app.submit_query(query)
+    net.scheduler.run_until(25)
+    parked_before = len(server.parked_queries())
+    # the entry fix lands as a timer at the chosen instant, same as the
+    # sweep does — at fix_time == EXPIRY they are same-sim-time rivals
+    net.scheduler.schedule_at(fix_time, server.location.update,
+                              "bob", "L10.01")
+    net.scheduler.run_until(EXPIRY + 10)
+
+    outcome = {
+        "parked_before": parked_before,
+        "parked_after": len(server.parked_queries()),
+        "executed": server.queries_executed,
+        "failed": server.queries_failed,
+        "acks": sorted(ack["status"] for ack in app.query_acks.values()),
+        "results": [(r.get("ok"), r.get("error")) for r in app.results],
+    }
+    close = getattr(net.scheduler, "close", None)
+    if close is not None:
+        close()
+    return outcome
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The single-lane partitioned outcome every substrate must match."""
+    return run_boundary_scenario(partitions=1)
+
+
+def test_boundary_expires_instead_of_executing(reference):
+    assert reference["parked_before"] == 1
+    assert reference["parked_after"] == 0
+    assert reference["executed"] == 0
+    assert reference["failed"] == 1
+    assert (False, "query expired while parked") in reference["results"]
+    assert all(ok is not True for ok, _ in reference["results"])
+
+
+@pytest.mark.parametrize("partitions", PARTITION_COUNTS)
+def test_boundary_outcome_is_partition_invariant(partitions, reference):
+    assert run_boundary_scenario(partitions=partitions) == reference
+
+
+def test_classic_scheduler_matches_single_lane(reference):
+    assert run_boundary_scenario(partitions=None) == reference
+
+
+def test_trigger_before_expiry_still_wins():
+    """Off the boundary the race disappears: the entry fix at T-0.5
+    executes the query before any sweep can see it as expired."""
+    outcome = run_boundary_scenario(partitions=2, fix_time=EXPIRY - 0.5)
+    assert outcome["failed"] == 0
+    assert outcome["executed"] == 1
+    assert any(ok for ok, _ in outcome["results"])

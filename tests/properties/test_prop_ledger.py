@@ -1,0 +1,167 @@
+"""The ledger determinism contract, fuzzed: projection == live, always.
+
+Hypothesis draws arbitrary op traces — register / re-register / depart,
+profile add / patch / remove, subscribe (any filter shape, one-time or
+not), unsubscribe, publish — and runs them against live components
+(Registrar, ProfileManager, a mediator at shard counts 1..3) wired to
+one ledger family. After EVERY op the projection of the entries appended
+so far must equal the live books snapshot-for-snapshot. A tight retained
+cap keeps evictions in play, and one-time subscriptions exercise the
+delivery-then-unsubscribe path the mediator logs on its own.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ids import GUID, GuidFactory
+from repro.core.types import TypeSpec
+from repro.entities.profile import EntityClass, Profile
+from repro.events import subscription as subscription_module
+from repro.events.event import ContextEvent
+from repro.events.filters import (AndFilter, MatchAll, SubjectFilter,
+                                  TypeFilter)
+from repro.events.mediator import EventMediator
+from repro.events.sharding import ShardedEventMediator
+from repro.ledger.ledger import ContextLedger, merge_entries
+from repro.ledger.replay import (ReplayProjector, projection_snapshot,
+                                 snapshot_profiles, snapshot_registrar,
+                                 snapshot_retained, snapshot_subscriptions)
+from repro.net.transport import FixedLatency, FunctionProcess, Network
+from repro.server.profile_manager import ProfileManager
+from repro.server.registrar import Registrar, RegistrationRecord
+
+TYPES = ["location", "temperature"]
+SUBJECTS = ["bob", "ada"]
+ENTITIES = 4
+
+
+@st.composite
+def operations(draw):
+    op = draw(st.sampled_from(
+        ["register", "depart", "profile-add", "profile-update",
+         "profile-remove", "subscribe", "unsubscribe", "publish"]))
+    i = draw(st.integers(0, ENTITIES - 1))
+    if op == "profile-update":
+        return (op, i, draw(st.sampled_from(["room", "floor"])),
+                draw(st.integers(0, 9)))
+    if op == "subscribe":
+        return (op, draw(st.sampled_from(["exact", "type", "subject",
+                                          "all"])),
+                draw(st.sampled_from(TYPES)),
+                draw(st.sampled_from(SUBJECTS)),
+                draw(st.booleans()))
+    if op == "publish":
+        return (op, draw(st.sampled_from(TYPES)),
+                draw(st.sampled_from(SUBJECTS)), draw(st.integers(0, 99)))
+    return (op, i)
+
+
+def _build_filter(shape, type_name, subject):
+    if shape == "exact":
+        return AndFilter([TypeFilter(type_name), SubjectFilter(subject)])
+    if shape == "type":
+        return TypeFilter(type_name)
+    if shape == "subject":
+        return SubjectFilter(subject)
+    return MatchAll()
+
+
+def _live(registrar, profiles, mediator):
+    return {
+        "records": snapshot_registrar(registrar),
+        "profiles": snapshot_profiles(profiles),
+        "retained": snapshot_retained(mediator),
+        "subscriptions": snapshot_subscriptions(mediator),
+    }
+
+
+def _projected(mediator):
+    state = ReplayProjector.from_entries(
+        merge_entries(mediator.ledgers())).state
+    return projection_snapshot(state)
+
+
+class TestProjectionEqualsLive:
+    @settings(max_examples=30, deadline=None)
+    @given(ops=st.lists(operations(), min_size=1, max_size=25),
+           shards=st.integers(1, 3))
+    def test_every_prefix_projects_to_the_live_books(self, ops, shards):
+        subscription_module._subscription_ids = itertools.count(1)
+        net = Network(latency_model=FixedLatency(1.0), seed=5)
+        net.add_host("h")
+        guids = GuidFactory(seed=6)
+        ledger = ContextLedger("cs:prop")
+        sink = FunctionProcess(guids.mint(), "h", net, lambda _m: None)
+        if shards > 1:
+            mediator = ShardedEventMediator(
+                guids.mint(), "h", net, "prop", shards=shards,
+                guid_factory=guids, retained_cap=2, ledger=ledger)
+        else:
+            mediator = EventMediator(guids.mint(), "h", net, "prop",
+                                     retained_cap=2, ledger=ledger)
+        registrar = Registrar(guids.mint(), "h", net, "prop",
+                              context_server=sink.guid,
+                              event_mediator=sink.guid, ledger=ledger)
+        profiles = ProfileManager(guids.mint(), "h", net, "prop",
+                                  ledger=ledger)
+        publisher = FunctionProcess(guids.mint(), "h", net, lambda _m: None)
+        subscriber = FunctionProcess(guids.mint(), "h", net, lambda _m: None)
+        entity_ids = [GUID((i + 1) << 64) for i in range(ENTITIES)]
+        seqs = itertools.count(1000)
+        sub_ids = []
+
+        for op in ops:
+            kind = op[0]
+            if kind == "register":
+                i = op[1]
+                profile = Profile(entity_ids[i], f"e{i}", EntityClass.DEVICE,
+                                  outputs=[TypeSpec.of("location",
+                                                       "topological",
+                                                       f"e{i}")])
+                registrar.register_record(RegistrationRecord(
+                    profile=profile, kind="ce", host_id="h",
+                    registered_at=net.scheduler.now,
+                    lease_expiry=net.scheduler.now + 1e6), notify=False)
+            elif kind == "depart":
+                registrar.remove(entity_ids[op[1]].hex, "prop-op",
+                                 notify_entity=False)
+            elif kind == "profile-add":
+                i = op[1]
+                profiles.add(Profile(entity_ids[i], f"e{i}",
+                                     EntityClass.DEVICE,
+                                     attributes={"gen": i}))
+            elif kind == "profile-update":
+                profiles.update_attributes(entity_ids[op[1]].hex,
+                                           {op[2]: op[3]})
+            elif kind == "profile-remove":
+                profiles.remove(entity_ids[op[1]].hex)
+            elif kind == "subscribe":
+                _, shape, type_name, subject, one_time = op
+                subscription = mediator.add_subscription(
+                    subscriber.guid, _build_filter(shape, type_name, subject),
+                    one_time=one_time, owner="prop")
+                sub_ids.append(subscription.sub_id)
+            elif kind == "unsubscribe":
+                if sub_ids:
+                    mediator.remove_subscription(
+                        sub_ids[op[1] % len(sub_ids)])
+            elif kind == "publish":
+                _, type_name, subject, value = op
+                wire = ContextEvent(
+                    TypeSpec(type_name, "topological", subject), value,
+                    publisher.guid, net.scheduler.now,
+                    seq=next(seqs)).to_wire()
+                publisher.send(mediator.guid, "publish",
+                               {"event": wire, "ack": False})
+            # a bounded drain window, not run_until_idle: the registrar's
+            # periodic lease sweep keeps the scheduler non-idle forever.
+            # publisher -> router -> shard -> subscriber is 3 hops at
+            # FixedLatency(1.0), so 5 units flushes every in-flight message
+            net.scheduler.run_for(5.0)
+            live = _live(registrar, profiles, mediator)
+            assert _projected(mediator) == live
+
+        for chain in mediator.ledgers():
+            chain.verify()

@@ -56,24 +56,47 @@ class TestExpiry:
     def test_expired_after_deadline(self):
         when = WhenClause.when_enters("bob", "x", expires=100.0)
         assert not when.expired(99.0)
-        assert not when.expired(100.0)
         assert when.expired(100.1)
+
+    def test_expiry_boundary_is_inclusive(self):
+        """At exactly ``expires`` the query is dead: a trigger landing on
+        the boundary instant must lose to the expiry, matching what the
+        10-unit sweep would decide at the same sim-time."""
+        when = WhenClause.when_enters("bob", "x", expires=100.0)
+        assert when.expired(100.0)
 
 
 class TestTextForm:
+    # all four kinds, with and without an expiry suffix
     @pytest.mark.parametrize("text", [
         "now", "at(50)", "after(5)", "enters(bob, L10.01)",
-        "enters(bob, L10.01) until(600)", "now until(10)",
+        "now until(10)", "at(50) until(60)", "after(5) until(600)",
+        "enters(bob, L10.01) until(600)",
     ])
     def test_round_trip(self, text):
         when = WhenClause.parse(text)
         assert WhenClause.parse(str(when)) == when
 
-    def test_empty_is_now(self):
-        assert WhenClause.parse("").kind == "now"
+    @pytest.mark.parametrize("text", [
+        "now", "at(50)", "after(5)", "enters(bob, L10.01)",
+        "now until(10)", "at(50) until(60)", "after(5) until(600)",
+        "enters(bob, L10.01) until(600)",
+    ])
+    def test_str_is_canonical(self, text):
+        assert str(WhenClause.parse(text)) == text
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            WhenClause.parse("")
+
+    def test_bare_until_rejected(self):
+        # "until(600)" alone has no condition to expire; it used to be
+        # silently accepted as an expiring "now"
+        with pytest.raises(QueryError):
+            WhenClause.parse("until(600)")
 
     @pytest.mark.parametrize("bad", ["later", "at()", "enters(bob)",
-                                     "after(x)"])
+                                     "after(x)", "  until(5) "])
     def test_malformed_rejected(self, bad):
         with pytest.raises(QueryError):
             WhenClause.parse(bad)

@@ -215,6 +215,42 @@ class TestTemporalRouting:
         failures = [r for r in registered_app.results if not r.get("ok", True)]
         assert failures and "expired" in failures[0]["error"]
 
+    def test_trigger_on_expiry_instant_expires(self, network, deployed_range,
+                                               registered_app):
+        # Regression: WhenClause.expired used a strict now > expires, so an
+        # enters event landing exactly at the until() boundary raced the
+        # periodic sweep — trigger-first executed, sweep-first dropped. The
+        # boundary is now inclusive: at now == expires both paths expire.
+        server, _ = deployed_range
+        expiry = network.scheduler.now + 5
+        query = (QueryBuilder("bob").profiles_of_type("device")
+                 .when(f"enters(bob, L10.01) until({expiry})").build())
+        registered_app.submit_query(query)
+        network.scheduler.run_for(2)
+        assert registered_app.query_acks[query.query_id]["status"] == "parked"
+        network.scheduler.run_until(expiry)
+        # the entry event lands at the exact expiry instant
+        server.location.update("bob", room="L10.01")
+        assert server.parked_queries() == []
+        network.scheduler.run_for(5)
+        failures = [r for r in registered_app.results if not r.get("ok", True)]
+        assert failures and failures[0]["error"] == "query expired while parked"
+        assert all(not r.get("ok", False) for r in registered_app.results)
+
+    def test_trigger_just_before_expiry_executes(self, network, deployed_range,
+                                                 registered_app):
+        server, _ = deployed_range
+        expiry = network.scheduler.now + 5
+        query = (QueryBuilder("bob").profiles_of_type("device")
+                 .when(f"enters(bob, L10.01) until({expiry})").build())
+        registered_app.submit_query(query)
+        network.scheduler.run_for(2)
+        network.scheduler.run_until(expiry - 0.5)
+        server.location.update("bob", room="L10.01")
+        assert server.parked_queries() == []
+        network.scheduler.run_for(5)
+        assert any(r.get("ok") for r in registered_app.results)
+
     def test_already_expired_query_refused(self, network, deployed_range,
                                            registered_app):
         query = (QueryBuilder("bob").profiles_of_type("device")
