@@ -213,6 +213,14 @@ def main() -> int:
                 f"merged lane stats equal the single-queue totals "
                 f"({reference['delivered']} delivered)")
 
+    print("smoke-perf: substrate under the LaneSan race sanitizer...")
+    sanitized = run_scenario(partitions=2, parallel=True, sanitize=True)
+    ok &= check(sanitized["race_conflicts"] == [],
+                "LaneSan found no lane-ownership conflicts "
+                "(2 partitions, threaded)")
+    ok &= check(sanitized["digest"] == reference["digest"],
+                "sanitized run digest identical (observation-only overlay)")
+
     print(f"smoke-perf: sharded route throughput at {SUBSTRATE_NODES} "
           "nodes...")
     from benchmarks.bench_perf_parallel import measure_route  # noqa: E402

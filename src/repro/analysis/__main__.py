@@ -76,8 +76,8 @@ def _render_text(report: AnalysisReport) -> str:
 def _render_json(report: AnalysisReport) -> str:
     return json.dumps({
         "files": len(report.sources),
-        "findings": [f.to_dict() for f in report.active],
-        "suppressed": [f.to_dict() for f in report.suppressed],
+        "findings": [f.to_dict(suppressed=False) for f in report.active],
+        "suppressed": [f.to_dict(suppressed=True) for f in report.suppressed],
         "counts": report.counts_by_check(),
     }, indent=2, sort_keys=True)
 

@@ -41,13 +41,16 @@ class Finding:
         return (f"{self.path}:{self.line}: "
                 f"{self.severity.value}[{self.check}] {self.message}")
 
-    def to_dict(self) -> dict:
+    def to_dict(self, suppressed: bool = False) -> dict:
+        """JSON shape consumed by downstream tooling — stable schema:
+        check, severity, path, line, message, suppressed."""
         return {
             "check": self.check,
             "severity": self.severity.value,
             "path": self.path,
             "line": self.line,
             "message": self.message,
+            "suppressed": suppressed,
         }
 
 

@@ -19,12 +19,13 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.analysis.catalog_lint import CatalogChecker
 from repro.analysis.determinism import DeterminismChecker
 from repro.analysis.findings import Finding, Severity, sort_findings
+from repro.analysis.races import RaceChecker
 from repro.analysis.source import SourceFile, load_sources
 from repro.analysis.verbs import VerbChecker, VerbModel, build_model
 
 CHECK_PARSE = "analysis.parse-error"
 
-FAMILIES = ("determinism", "verbs", "catalog")
+FAMILIES = ("determinism", "verbs", "catalog", "races")
 
 
 @dataclass
@@ -70,11 +71,16 @@ def run_analysis(paths: Sequence[str],
         for source in sources:
             findings.extend(checker.check(source))
     if "verbs" in families:
-        findings.extend(VerbChecker().check(sources))
         report.verb_model = build_model(sources)
+        findings.extend(VerbChecker().check(sources,
+                                            model=report.verb_model))
     if "catalog" in families:
         findings.extend(
             CatalogChecker(check_orphans=check_orphans).check(sources))
+    if "races" in families:
+        race_checker = RaceChecker()
+        for source in sources:
+            findings.extend(race_checker.check(source))
 
     by_path = {source.path: source for source in sources}
     for finding in sort_findings(findings):

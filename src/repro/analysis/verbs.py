@@ -39,7 +39,7 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.source import SourceFile
@@ -260,8 +260,10 @@ def build_model(sources: Iterable[SourceFile]) -> VerbModel:
 class VerbChecker:
     """Cross-file checker: needs the whole model, not one source at a time."""
 
-    def check(self, sources: List[SourceFile]) -> List[Finding]:
-        model = build_model(sources)
+    def check(self, sources: List[SourceFile],
+              model: Optional[VerbModel] = None) -> List[Finding]:
+        if model is None:
+            model = build_model(sources)
         findings: List[Finding] = []
         for verb, sites in sorted(model.sends.items()):
             if verb in model.handlers or verb in model.declared:

@@ -91,6 +91,14 @@ class _InterestSet:
         self.sources: Dict[str, int] = {}
         self.residual = 0
 
+    def sanitize(self, sanitizer, label: str) -> None:
+        """Swap the summary buckets for LaneSan ownership-asserting views:
+        shards read these from lane context while only control-plane calls
+        may write, and the sanitizer checks exactly that."""
+        self.types = sanitizer.wrap_dict(self.types, f"{label}.types")
+        self.subjects = sanitizer.wrap_dict(self.subjects, f"{label}.subjects")
+        self.sources = sanitizer.wrap_dict(self.sources, f"{label}.sources")
+
     def add(self, constraints: FilterConstraints) -> None:
         self._apply(constraints, 1)
 
@@ -251,6 +259,10 @@ class ShardedEventMediator(EventMediator):
         self._bridge_constraints: Dict[int, FilterConstraints] = {}
         self._sub_interest = _InterestSet()
         self._bridge_interest = _InterestSet()
+        sanitizer = getattr(network, "sanitizer", None)
+        if sanitizer is not None:
+            self._sub_interest.sanitize(sanitizer, "shard.sub_interest")
+            self._bridge_interest.sanitize(sanitizer, "shard.bridge_interest")
         self._next_shard_id = 0
         #: every shard chain ever minted, retired shards included — their
         #: entries stay part of the family's merged history

@@ -151,6 +151,7 @@ class PartitionedScheduler:
         self._external_stack: List[Any] = []
         self._round_horizon = _INF
         self._in_parallel_round = False
+        self._round_index = 0
         self._events_processed = 0
         self._quiesce_callbacks: List[Callable[[], None]] = []
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -204,6 +205,15 @@ class PartitionedScheduler:
     def current_context(self) -> Optional[_Lane]:
         """The lane executing on this thread (None outside the run loop)."""
         return getattr(self._tls, "lane", None)
+
+    @property
+    def round_index(self) -> int:
+        """Monotone count of horizon rounds and control barriers executed.
+
+        Two accesses with different round indices are separated by a
+        global barrier; the LaneSan sanitizer uses this to scope its
+        same-round conflict window."""
+        return self._round_index
 
     def _next_seq(self, rank: int) -> int:
         if rank < 0:
@@ -347,6 +357,7 @@ class PartitionedScheduler:
                 break
             if max_time is not None and t_min > max_time:
                 break
+            self._round_index += 1
             if t_ctl <= t_lanes:
                 # control events are global barriers: every lane has
                 # quiesced strictly below t_ctl, so the callback may touch

@@ -298,6 +298,7 @@ class Network:
         parallel: bool = False,
         host_rng_streams: Optional[bool] = None,
         event_log: Optional[EventLog] = None,
+        sanitize: bool = False,
     ):
         if not 0.0 <= drop_rate < 1.0:
             raise ValueError(f"drop_rate out of range: {drop_rate}")
@@ -351,6 +352,24 @@ class Network:
         #: rather than a scan over every process in the deployment
         self._processes_by_host: Dict[str, Dict[GUID, Process]] = {}
         self._partition_of: Dict[str, int] = {}
+        #: opt-in LaneSan runtime race detector (see repro.analysis.lanesan):
+        #: the lane-shared registries become ownership-asserting views that
+        #: record (structure, field, lane, round) on every access
+        self.sanitizer = None
+        if sanitize:
+            from repro.analysis.lanesan import LaneSan
+            self.sanitizer = LaneSan(self.scheduler)
+            self._hosts = self.sanitizer.wrap_dict(self._hosts, "net.hosts")
+            self._processes = self.sanitizer.wrap_dict(
+                self._processes, "net.processes")
+            self._processes_by_host = self.sanitizer.wrap_dict(
+                self._processes_by_host, "net.processes_by_host")
+            self._partition_of = self.sanitizer.wrap_dict(
+                self._partition_of, "net.partition_of")
+            if self._host_rngs is not None:
+                self._host_rngs = self.sanitizer.wrap_dict(
+                    self._host_rngs, "net.host_rngs")
+            self.obs.tracer.sanitize(self.sanitizer)
 
     # -- topology ------------------------------------------------------------
 

@@ -1,0 +1,61 @@
+"""Seeded lane-ownership violations for the races checker tests.
+
+Never imported — parsed by tests/analysis/test_races.py, which pins the
+exact (check, line) list. Keep line numbers stable when editing.
+"""
+
+import itertools
+from collections import deque
+
+PENDING = []
+COUNTERS = {}
+QUEUE = deque()
+_ids = itertools.count(1)
+
+TOTAL = 0
+
+
+class Host:
+    def __init__(self, network, scheduler):
+        self.network = network
+        self.scheduler = scheduler
+
+    def on_message(self, message):
+        PENDING.append(message)                        # module-state-write
+        COUNTERS["seen"] = 1                           # module-state-write
+        token = next(_ids)                             # module-state-write
+        self._bump()
+        return token
+
+    def _bump(self):
+        global TOTAL
+        TOTAL = TOTAL + 1                              # module-state-write
+
+    def _handle_detach(self, message):
+        self.network.detach(message.sender)            # unstaged-mutation
+        self.network.drop_rate = 0.5                   # unstaged-mutation
+        self.network._hosts.clear()                    # unstaged-mutation
+        self.rebalance_now()
+
+    def _handle_forward(self, message, peer):
+        peer.scheduler.schedule(0.0, self._bump)       # cross-lane-send
+        peer.on_message(message)                       # cross-lane-send
+        recipient = peer
+        recipient.deliver(message)                     # cross-lane-send
+
+    def rebalance_now(self):
+        # barrier-only by name: reached from _handle_detach but lane-ness
+        # stops here, so these writes are NOT findings
+        PENDING.clear()
+        self.network.set_partitions([])
+
+    def _handle_allowed(self, message):
+        PENDING.append(message)  # sci: allow(races.module-state-write)
+
+
+def arm(scheduler):
+    scheduler.schedule(1.0, _tick)
+
+
+def _tick():
+    QUEUE.append(1)                                    # module-state-write

@@ -1,0 +1,120 @@
+"""``races.*``: the lane-ownership escape analysis against seeded fixtures.
+
+The fixture plants all three race patterns (module-state writes from lane
+context, unstaged Network mutation, cross-lane event injection) plus the
+negatives that pin the classifier: barrier-named functions stop lane
+propagation, the substrate boundary is exempt, and control-context modules
+do not treat timer callbacks as lane roots.
+"""
+
+import pathlib
+
+from repro.analysis.determinism import DeterminismChecker
+from repro.analysis.findings import sort_findings
+from repro.analysis.races import (
+    CONTROL_CONTEXT_MODULES,
+    RACES_BOUNDARY_MODULES,
+    RaceChecker,
+)
+from repro.analysis.runner import run_analysis
+from repro.analysis.source import SourceFile
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+RACE_FIXTURE = FIXTURES / "race_violations.py"
+PART_FIXTURE = FIXTURES / "partition_violations.py"
+
+
+def _check(text, module_path):
+    source = SourceFile.from_text(text, module_path)
+    return sort_findings(RaceChecker().check(source))
+
+
+def test_fixture_findings_exact():
+    findings = _check(RACE_FIXTURE.read_text(encoding="utf-8"),
+                      RACE_FIXTURE.as_posix())
+    assert [(f.check, f.line) for f in findings] == [
+        ("races.module-state-write", 24),   # PENDING.append from on_message
+        ("races.module-state-write", 25),   # COUNTERS[...] subscript write
+        ("races.module-state-write", 26),   # next() on module counter
+        ("races.module-state-write", 32),   # global rebind via call graph
+        ("races.unstaged-mutation", 35),    # network.detach from handler
+        ("races.unstaged-mutation", 36),    # network attribute assignment
+        ("races.unstaged-mutation", 37),    # private reach-in (_hosts)
+        ("races.cross-lane-send", 41),      # foreign scheduler.schedule
+        ("races.cross-lane-send", 42),      # peer.on_message() direct
+        ("races.cross-lane-send", 44),      # recipient.deliver() direct
+        ("races.module-state-write", 53),   # pragma'd: checker still reports
+        ("races.module-state-write", 61),   # timer callback is a lane root
+    ]
+    # barrier stop: rebalance_now (lines 47-50) is reached from a handler
+    # but its writes are legitimate barrier work — no findings there
+    assert not any(47 <= f.line <= 50 for f in findings)
+
+
+def test_pragma_suppresses_but_stays_visible():
+    report = run_analysis([str(RACE_FIXTURE)], select=["races"])
+    assert [f.line for f in report.suppressed] == [53]
+    assert all(f.line != 53 for f in report.active)
+    assert len(report.active) == 11
+
+
+def test_boundary_modules_are_exempt():
+    text = RACE_FIXTURE.read_text(encoding="utf-8")
+    for module in sorted(RACES_BOUNDARY_MODULES):
+        path = "src/" + module.replace(".", "/") + ".py"
+        assert _check(text, path) == [], (
+            f"substrate module {module} owns the lane machinery; the races "
+            f"family must not flag it")
+
+
+def test_subsumes_partition_crossing():
+    """Every partition-boundary escape the determinism family flags is also
+    a races.cross-lane-send, on the same lines, without lane context."""
+    text = PART_FIXTURE.read_text(encoding="utf-8")
+    path = PART_FIXTURE.as_posix()
+    det_lines = [f.line for f in DeterminismChecker().check(
+        SourceFile.from_text(text, path))
+        if f.check == "determinism.partition-crossing"]
+    races = _check(text, path)
+    assert [f.line for f in races] == sorted(det_lines)
+    assert {f.check for f in races} == {"races.cross-lane-send"}
+
+
+def test_control_context_modules_skip_timer_roots():
+    """The chaos injector schedules callbacks from the control lane, so a
+    scheduled callback mutating module state is fine there — but the same
+    text in an ordinary module is a finding."""
+    text = (
+        "EPISODES = []\n"
+        "def arm(scheduler):\n"
+        "    scheduler.schedule(5.0, _fire)\n"
+        "def _fire():\n"
+        "    EPISODES.append(1)\n"
+    )
+    assert "repro.faults.injector" in CONTROL_CONTEXT_MODULES
+    assert _check(text, "src/repro/faults/injector.py") == []
+    findings = _check(text, "src/repro/mobility/world.py")
+    assert [(f.check, f.line) for f in findings] == [
+        ("races.module-state-write", 5)]
+
+
+def test_handlers_are_lane_roots_even_in_control_modules():
+    """Only *timer* roots are waived for control-context modules; a message
+    handler still executes on a lane wherever it lives."""
+    text = (
+        "SEEN = {}\n"
+        "class Driver:\n"
+        "    def _handle_tick(self, message):\n"
+        "        SEEN[message.sender] = message\n"
+    )
+    findings = _check(text, "src/repro/faults/injector.py")
+    assert [(f.check, f.line) for f in findings] == [
+        ("races.module-state-write", 4)]
+
+
+def test_src_tree_is_races_clean():
+    import repro
+    src = pathlib.Path(repro.__file__).resolve().parents[1]
+    report = run_analysis([str(src)], select=["races"])
+    assert report.active == [], "\n".join(f.format() for f in report.active)
+    assert report.suppressed == []

@@ -101,24 +101,27 @@ def _mint_events(guids) -> List[dict]:
 
 
 def run_scenario(partitions: Optional[int] = None, parallel: bool = False,
-                 seed: int = 11) -> Dict[str, object]:
+                 seed: int = 11, sanitize: bool = False) -> Dict[str, object]:
     """Run the mixed scenario on one substrate configuration.
 
     ``partitions=None`` uses the classic single-heap Scheduler; an integer
     builds a :class:`~repro.net.partition.PartitionedScheduler` (optionally
     with the thread executor). ``host_rng_streams`` is forced on for every
     configuration so the classic run draws latency/drop from the same
-    per-host streams the partitioned runs use.
+    per-host streams the partitioned runs use. ``sanitize=True`` runs under
+    the LaneSan race detector; the result then carries the conflict list
+    under ``race_conflicts``.
     """
     subscription_module._subscription_ids = itertools.count(1)
     log = EventLog()
     latency = CampusLatency(local=0.05, remote=1.0, jitter=0.5)
     if partitions is None:
         net = Network(latency_model=latency, seed=seed,
-                      host_rng_streams=True, event_log=log)
+                      host_rng_streams=True, event_log=log,
+                      sanitize=sanitize)
     else:
         net = Network(latency_model=latency, seed=seed, partitions=partitions,
-                      parallel=parallel, event_log=log)
+                      parallel=parallel, event_log=log, sanitize=sanitize)
     for host in HOSTS:
         net.add_host(host)
 
@@ -179,6 +182,8 @@ def run_scenario(partitions: Optional[int] = None, parallel: bool = False,
         "routed": sci.total_routed(),
         "final_time": net.scheduler.now,
     }
+    if net.sanitizer is not None:
+        result["race_conflicts"] = net.sanitizer.conflicts()
     close = getattr(net.scheduler, "close", None)
     if close is not None:
         close()
